@@ -1,0 +1,115 @@
+// Command evaluate reproduces the paper's evaluation section: Table 1,
+// Table 2, and the Figure 12 (speedup, achieved occupancy) and Figure 13
+// (L2 transactions, L1 hit rate) panels for every architecture.
+//
+// Usage:
+//
+//	evaluate                     # full sweep, all four GPUs, 23 apps
+//	evaluate -arch TeslaK40      # one platform
+//	evaluate -apps MM,KMN        # subset of applications
+//	evaluate -table1 -table2     # just the tables
+//	evaluate -quick              # skip the throttle sweep
+//	evaluate -csv DIR            # additionally write CSV files to DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/eval"
+	"ctacluster/internal/report"
+	"ctacluster/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaluate: ")
+	archName := flag.String("arch", "", "run a single platform")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 23)")
+	table1 := flag.Bool("table1", false, "print Table 1 (platforms) and exit")
+	table2 := flag.Bool("table2", false, "print Table 2 (benchmarks) and exit")
+	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	verbose := flag.Bool("v", false, "print per-app progress")
+	flag.Parse()
+
+	if *table1 || *table2 {
+		if *table1 {
+			report.Table1(arch.All()).Write(os.Stdout)
+			fmt.Println()
+		}
+		if *table2 {
+			report.Table2(workloads.Table2()).Write(os.Stdout)
+		}
+		return
+	}
+
+	platforms := arch.All()
+	if *archName != "" {
+		a, err := arch.ByName(*archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		platforms = []*arch.Arch{a}
+	}
+	apps := workloads.Table2()
+	if *appsFlag != "" {
+		apps = apps[:0]
+		for _, n := range strings.Split(*appsFlag, ",") {
+			a, err := workloads.New(strings.TrimSpace(n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			apps = append(apps, a)
+		}
+	}
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
+	}
+
+	for _, ar := range platforms {
+		results, err := eval.Evaluate(ar, apps, eval.Options{Quick: *quick}, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==================== %s (%s) ====================\n\n", ar.Name, ar.Gen)
+		tables := append(report.Figure12(ar, results), report.Figure13(ar, results)...)
+		for _, t := range tables {
+			t.Write(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				writeCSV(*csvDir, t)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *report.Table) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Title)
+	if len(name) > 80 {
+		name = name[:80]
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	t.WriteCSV(f)
+}

@@ -1,0 +1,71 @@
+// Command microbench runs the Listing-3 microbenchmark on the four
+// evaluation GPUs and prints the Figure 2 series: per-CTA access cycles
+// on the SM holding CTA-0, for the default (temporal locality) and
+// staggered (spatial locality) scenarios.
+//
+// Usage:
+//
+//	microbench [-arch NAME] [-points N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/report"
+	"ctacluster/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("microbench: ")
+	archName := flag.String("arch", "", "run a single platform (GTX570, TeslaK40, GTX980, GTX1080)")
+	points := flag.Int("points", 24, "max table rows per scenario (0 = all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	platforms := arch.All()
+	if *archName != "" {
+		a, err := arch.ByName(*archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		platforms = []*arch.Arch{a}
+	}
+
+	for _, ar := range platforms {
+		def, stag, err := workloads.RunMicrobench(ar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mb := workloads.NewMicrobench(ar, false)
+		fmt.Printf("== %s (%s): %d CTAs = %d SMs x %d CTA slots x %d turnarounds ==\n",
+			ar.Name, ar.Gen, mb.GridDim().Count(), ar.SMs, ar.CTASlots, mb.Turnarounds())
+
+		t1 := report.Figure2(ar, "default: temporal locality", def, *points)
+		t2 := report.Figure2(ar, "staggered: spatial locality", stag, *points)
+		for _, t := range []*report.Table{t1, t2} {
+			if *csv {
+				t.WriteCSV(os.Stdout)
+			} else {
+				t.Write(os.Stdout)
+			}
+			fmt.Println()
+		}
+		pts, _, _ := workloads.Figure2Series(def)
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p.Cycles
+		}
+		fmt.Printf("  shape (default):   %s\n", report.Sparkline(vals, 64))
+		pts, _, _ = workloads.Figure2Series(stag)
+		vals = vals[:0]
+		for _, p := range pts {
+			vals = append(vals, p.Cycles)
+		}
+		fmt.Printf("  shape (staggered): %s\n\n", report.Sparkline(vals, 64))
+	}
+}

@@ -1,0 +1,51 @@
+// Command reusequant reproduces Figure 3: the percentage of intra- and
+// inter-CTA reuse among the global data reuse of the benchmark
+// applications, measured on the pre-L1 request stream.
+//
+// Usage:
+//
+//	reusequant [-line BYTES] [-apps CSV] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ctacluster/internal/report"
+	"ctacluster/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reusequant: ")
+	line := flag.Int("line", 32, "reuse-tracking line granularity in bytes")
+	appsFlag := flag.String("apps", "", "comma-separated app names (default: the 33 Figure 3 apps)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	var apps []*workloads.App
+	if *appsFlag == "" {
+		apps = workloads.Figure3()
+	} else {
+		for _, n := range strings.Split(*appsFlag, ",") {
+			a, err := workloads.New(strings.TrimSpace(n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			apps = append(apps, a)
+		}
+	}
+
+	t := report.Figure3(apps, *line)
+	if *csv {
+		t.WriteCSV(os.Stdout)
+	} else {
+		t.Write(os.Stdout)
+	}
+	fmt.Println()
+	fmt.Println("Inter_CTA + Intra_CTA split the reused requests; 'reuse fraction'")
+	fmt.Println("is the share of all pre-L1 read requests that are reuses at all.")
+}

@@ -1,0 +1,103 @@
+package ctacluster_test
+
+import (
+	"testing"
+
+	"ctacluster"
+)
+
+func TestPlatforms(t *testing.T) {
+	ps := ctacluster.Platforms()
+	if len(ps) != 4 {
+		t.Fatalf("platforms = %d", len(ps))
+	}
+	if ctacluster.Platform("GTX980").SMs != 16 {
+		t.Error("GTX980 should have 16 SMs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown platform should panic")
+		}
+	}()
+	ctacluster.Platform("nope")
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	if _, err := ctacluster.Benchmark("MM"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctacluster.Benchmark("XYZ"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if got := len(ctacluster.Benchmarks()); got != 23 {
+		t.Errorf("benchmarks = %d, want 23", got)
+	}
+}
+
+func TestSimulateAndCluster(t *testing.T) {
+	ar := ctacluster.Platform("TeslaK40")
+	app, err := ctacluster.Benchmark("NN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ctacluster.Simulate(ar, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := ctacluster.Cluster(app, ctacluster.ClusterOptions{Arch: ar, Indexing: app.Partition()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ctacluster.Simulate(ar, clu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NN is the paper's strongest algorithm-related case: clustering
+	// must cut L2 transactions substantially and not slow it down.
+	if opt.L2ReadTransactions() >= base.L2ReadTransactions() {
+		t.Errorf("clustering did not reduce NN's L2 transactions: %d -> %d",
+			base.L2ReadTransactions(), opt.L2ReadTransactions())
+	}
+	if s := ctacluster.Speedup(base, opt); s < 1.0 {
+		t.Errorf("NN clustering speedup = %.2f, want >= 1.0", s)
+	}
+	if ctacluster.Speedup(nil, opt) != 0 || ctacluster.Speedup(base, nil) != 0 {
+		t.Error("Speedup should tolerate nil results")
+	}
+}
+
+func TestRedirectFacade(t *testing.T) {
+	ar := ctacluster.Platform("GTX570")
+	app, _ := ctacluster.Benchmark("DCT")
+	rd, err := ctacluster.Redirect(app, ar.SMs, ctacluster.ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctacluster.Simulate(ar, rd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantifyFacade(t *testing.T) {
+	app, _ := ctacluster.Benchmark("MM")
+	q := ctacluster.Quantify(app, 32)
+	// MM's inter-CTA reuse dominates (every tile row/column is shared).
+	if q.InterPct() < 0.9 {
+		t.Errorf("MM inter pct = %v, want ~1", q.InterPct())
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	ar := ctacluster.Platform("TeslaK40")
+	app, _ := ctacluster.Benchmark("BS")
+	plan, err := ctacluster.Optimize(app, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Analysis.Exploitable {
+		t.Error("BlackScholes must not be classified exploitable")
+	}
+	if _, err := ctacluster.Simulate(ar, plan.Clustered); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package ctacluster_test
+
+import (
+	"fmt"
+
+	"ctacluster"
+)
+
+// The simulation is fully deterministic (seeded), so these examples
+// double as golden tests for the public API.
+
+func ExamplePartition() {
+	// The paper's running example (Section 4.2): MM with |V|=6 CTAs
+	// partitioned into M=2 clusters.
+	p := ctacluster.Partition{V: 6, M: 2}
+	w, i := p.Map(3)
+	fmt.Printf("f(3) = (w=%d, i=%d)\n", w, i)
+	fmt.Printf("f-1(2,1) = %d\n", p.Invert(2, 1))
+	// Output:
+	// f(3) = (w=0, i=1)
+	// f-1(2,1) = 5
+}
+
+func ExampleQuantify() {
+	app, _ := ctacluster.Benchmark("BS")
+	q := ctacluster.Quantify(app, 32)
+	fmt.Printf("BlackScholes reuse fraction: %.0f%%\n", 100*q.ReuseFraction())
+	// Output:
+	// BlackScholes reuse fraction: 0%
+}
+
+func ExamplePlatform() {
+	ar := ctacluster.Platform("GTX570")
+	fmt.Printf("%s: %d SMs, %dB L1 lines, %d L2 transactions per L1 miss\n",
+		ar.Name, ar.SMs, ar.L1Line, ar.L2TransactionsPerL1Miss())
+	// Output:
+	// GTX570: 15 SMs, 128B L1 lines, 4 L2 transactions per L1 miss
+}
+
+func ExampleCluster() {
+	ar := ctacluster.Platform("TeslaK40")
+	app, _ := ctacluster.Benchmark("NN")
+
+	base, _ := ctacluster.Simulate(ar, app)
+	clu, _ := ctacluster.Cluster(app, ctacluster.ClusterOptions{
+		Arch:     ar,
+		Indexing: app.Partition(),
+	})
+	opt, _ := ctacluster.Simulate(ar, clu)
+
+	fewer := opt.L2ReadTransactions() < base.L2ReadTransactions()
+	faster := ctacluster.Speedup(base, opt) > 1.0
+	fmt.Printf("clustering reduced L2 traffic: %v, sped NN up: %v\n", fewer, faster)
+	// Output:
+	// clustering reduced L2 traffic: true, sped NN up: true
+}
+
+func ExampleOptimize() {
+	ar := ctacluster.Platform("TeslaK40")
+	app, _ := ctacluster.Benchmark("SAD")
+	plan, _ := ctacluster.Optimize(app, ar)
+	fmt.Printf("SAD exploitable: %v\n", plan.Analysis.Exploitable)
+	// Output:
+	// SAD exploitable: false
+}

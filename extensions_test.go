@@ -1,0 +1,69 @@
+package ctacluster_test
+
+import (
+	"testing"
+
+	"ctacluster"
+)
+
+func TestVoteAgentsFacade(t *testing.T) {
+	ar := ctacluster.Platform("GTX570")
+	app, err := ctacluster.Benchmark("KMN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctacluster.VoteAgents(app, ar, ctacluster.ClusterOptions{Indexing: app.Partition()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Agents < 1 {
+		t.Fatalf("vote result incomplete: %+v", res)
+	}
+	if len(res.Votes) < 3 {
+		t.Errorf("votes = %d, want several candidates", len(res.Votes))
+	}
+	// The paper throttles KMN hard: the winner must be well below the
+	// maximum allowable agents.
+	if res.Agents > 4 {
+		t.Errorf("KMN optimal agents = %d, expected heavy throttling", res.Agents)
+	}
+	// The winning kernel must simulate at the winning cost.
+	sim, err := ctacluster.Simulate(ar, res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Votes {
+		if v.Agents == res.Agents && float64(sim.Cycles) != v.Cost {
+			t.Errorf("winner cost %v != re-simulated cycles %d", v.Cost, sim.Cycles)
+		}
+	}
+}
+
+func TestInspectorPermutationFacade(t *testing.T) {
+	app, err := ctacluster.Benchmark("BTR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ctacluster.InspectorPermutation(app, 32)
+	if len(perm) != app.GridDim().Count() {
+		t.Fatalf("perm length = %d, want %d", len(perm), app.GridDim().Count())
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	// The custom order must be usable end-to-end.
+	ar := ctacluster.Platform("TeslaK40")
+	k, err := ctacluster.Cluster(app, ctacluster.ClusterOptions{
+		Arch: ar, Indexing: ctacluster.Arbitrary, Perm: perm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctacluster.Simulate(ar, k); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ctacluster
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package arch describes the modern NVIDIA GPU generations evaluated in
+// the paper (Table 1): Fermi GTX570, Kepler Tesla K40, Maxwell GTX980 and
+// Pascal GTX1080, plus the first-generation Maxwell GTX750Ti used for the
+// scheduler-pattern observation in Section 3.1-(3).
+//
+// An Arch value is a pure description; the simulator in internal/engine
+// instantiates caches, SMs and the memory system from it. All quantities
+// are per the paper's Table 1 and the latencies measured by the Listing-3
+// microbenchmark (Figure 2).
+package arch
+
+import "fmt"
+
+// Generation enumerates the GPU architecture generations.
+type Generation int
+
+const (
+	Fermi Generation = iota
+	Kepler
+	Maxwell
+	Pascal
+)
+
+// String returns the generation name.
+func (g Generation) String() string {
+	switch g {
+	case Fermi:
+		return "Fermi"
+	case Kepler:
+		return "Kepler"
+	case Maxwell:
+		return "Maxwell"
+	case Pascal:
+		return "Pascal"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// WarpSize is the SIMT execution width on every generation in Table 1.
+const WarpSize = 32
+
+// SchedulerPolicy selects the GigaThread Engine dispatch behaviour
+// observed in Section 3.1-(3).
+type SchedulerPolicy int
+
+const (
+	// SchedFirstWaveRR: the first turnaround follows round-robin, the
+	// remaining turnarounds are demand-driven (observed pattern 1).
+	SchedFirstWaveRR SchedulerPolicy = iota
+	// SchedRandom: CTAs are randomly assigned within each turnaround
+	// (observed pattern 2, GTX750Ti and real-world applications).
+	SchedRandom
+	// SchedStrictRR: the strict round-robin policy assumed by prior
+	// work; provably wrong on real hardware but needed to model the
+	// failure mode of redirection-based clustering.
+	SchedStrictRR
+)
+
+// String returns the policy name.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case SchedFirstWaveRR:
+		return "first-wave-rr"
+	case SchedRandom:
+		return "random"
+	case SchedStrictRR:
+		return "strict-rr"
+	default:
+		return fmt.Sprintf("SchedulerPolicy(%d)", int(p))
+	}
+}
+
+// Arch is a full architecture descriptor (one row of Table 1 plus the
+// latency constants measured in Figure 2).
+type Arch struct {
+	Name       string
+	Gen        Generation
+	CC         string // compute capability
+	SMs        int
+	WarpSlots  int // max warps per SM
+	CTASlots   int // max CTAs per SM
+	Registers  int // 32-bit registers per SM
+	SharedMem  int // bytes of shared memory per SM
+	L1Size     int // bytes (default configuration)
+	L1Line     int // bytes
+	L1Assoc    int
+	L1Sectored bool // Maxwell/Pascal L1/Tex unified cache has two sectors
+	L2Size     int  // bytes (total, across banks)
+	L2Line     int  // bytes
+	L2Assoc    int
+	L2Banks    int
+
+	// Latencies in SM cycles, calibrated against Figure 2.
+	L1Latency   int // load-to-use on an L1 hit
+	L2Latency   int // load-to-use on an L1 miss / L2 hit
+	DRAMLatency int // load-to-use on an L2 miss
+
+	// NoCBandwidth is the number of 32B L2 transactions each SM port can
+	// inject per cycle; L2 banks service one transaction per cycle each.
+	NoCBandwidth int
+
+	// DRAMChannels and DRAMInterval size off-chip bandwidth: each L2
+	// miss occupies its channel for DRAMInterval cycles, so the GPU
+	// sustains DRAMChannels/DRAMInterval 32B transactions per cycle —
+	// the bottleneck that makes L2-transaction reduction pay off in
+	// time (the paper's observation 5, Section 5.2).
+	DRAMChannels int
+	DRAMInterval int
+
+	// DefaultScheduler is the GigaThread policy observed on this part.
+	DefaultScheduler SchedulerPolicy
+
+	// StaticWarpSlotBinding reports whether CTAs map to hardware warp
+	// slots consecutively and fixed (Fermi/Kepler), enabling the cheap
+	// warp-slot-id SM-based binding of Section 4.2.3-(B); Maxwell and
+	// Pascal bind dynamically and need a global atomic instead.
+	StaticWarpSlotBinding bool
+}
+
+// KB is a byte-count helper for descriptor literals.
+const KB = 1024
+
+// GTX570 returns the Fermi descriptor (CC 2.0).
+func GTX570() *Arch {
+	return &Arch{
+		Name: "GTX570", Gen: Fermi, CC: "2.0",
+		SMs: 15, WarpSlots: 48, CTASlots: 8,
+		Registers: 32 * 1024, SharedMem: 48 * KB,
+		L1Size: 16 * KB, L1Line: 128, L1Assoc: 4, L1Sectored: false,
+		L2Size: 1536 * KB, L2Line: 32, L2Assoc: 16, L2Banks: 6,
+		L1Latency: 125, L2Latency: 374, DRAMLatency: 560,
+		NoCBandwidth: 1, DRAMChannels: 5, DRAMInterval: 2,
+		DefaultScheduler: SchedFirstWaveRR, StaticWarpSlotBinding: true,
+	}
+}
+
+// TeslaK40 returns the Kepler descriptor (CC 3.5).
+func TeslaK40() *Arch {
+	return &Arch{
+		Name: "TeslaK40", Gen: Kepler, CC: "3.5",
+		SMs: 15, WarpSlots: 64, CTASlots: 16,
+		Registers: 64 * 1024, SharedMem: 48 * KB,
+		L1Size: 16 * KB, L1Line: 128, L1Assoc: 4, L1Sectored: false,
+		L2Size: 1536 * KB, L2Line: 32, L2Assoc: 16, L2Banks: 7,
+		L1Latency: 91, L2Latency: 260, DRAMLatency: 440,
+		NoCBandwidth: 1, DRAMChannels: 6, DRAMInterval: 2,
+		DefaultScheduler: SchedFirstWaveRR, StaticWarpSlotBinding: true,
+	}
+}
+
+// GTX980 returns the Maxwell descriptor (CC 5.2).
+func GTX980() *Arch {
+	return &Arch{
+		Name: "GTX980", Gen: Maxwell, CC: "5.2",
+		SMs: 16, WarpSlots: 64, CTASlots: 32,
+		Registers: 64 * 1024, SharedMem: 96 * KB,
+		L1Size: 48 * KB, L1Line: 32, L1Assoc: 8, L1Sectored: true,
+		L2Size: 2048 * KB, L2Line: 32, L2Assoc: 16, L2Banks: 8,
+		L1Latency: 131, L2Latency: 254, DRAMLatency: 470,
+		NoCBandwidth: 1, DRAMChannels: 6, DRAMInterval: 2,
+		DefaultScheduler: SchedFirstWaveRR, StaticWarpSlotBinding: false,
+	}
+}
+
+// GTX1080 returns the Pascal descriptor (CC 6.1).
+func GTX1080() *Arch {
+	return &Arch{
+		Name: "GTX1080", Gen: Pascal, CC: "6.1",
+		SMs: 20, WarpSlots: 64, CTASlots: 32,
+		Registers: 64 * 1024, SharedMem: 64 * KB,
+		L1Size: 48 * KB, L1Line: 32, L1Assoc: 8, L1Sectored: true,
+		L2Size: 2048 * KB, L2Line: 32, L2Assoc: 16, L2Banks: 10,
+		L1Latency: 132, L2Latency: 260, DRAMLatency: 490,
+		NoCBandwidth: 1, DRAMChannels: 8, DRAMInterval: 2,
+		DefaultScheduler: SchedFirstWaveRR, StaticWarpSlotBinding: false,
+	}
+}
+
+// GTX750Ti returns the first-generation Maxwell part (CC 5.0) on which
+// the paper observed the random per-turnaround scheduling pattern.
+func GTX750Ti() *Arch {
+	return &Arch{
+		Name: "GTX750Ti", Gen: Maxwell, CC: "5.0",
+		SMs: 5, WarpSlots: 64, CTASlots: 32,
+		Registers: 64 * 1024, SharedMem: 64 * KB,
+		L1Size: 24 * KB, L1Line: 32, L1Assoc: 8, L1Sectored: true,
+		L2Size: 2048 * KB, L2Line: 32, L2Assoc: 16, L2Banks: 6,
+		L1Latency: 110, L2Latency: 240, DRAMLatency: 450,
+		NoCBandwidth: 1, DRAMChannels: 4, DRAMInterval: 2,
+		DefaultScheduler: SchedRandom, StaticWarpSlotBinding: false,
+	}
+}
+
+// All returns the four evaluation platforms of Table 1 in paper order.
+func All() []*Arch {
+	return []*Arch{GTX570(), TeslaK40(), GTX980(), GTX1080()}
+}
+
+// ByName looks a platform up by its product name (case-sensitive).
+func ByName(name string) (*Arch, error) {
+	for _, a := range append(All(), GTX750Ti()) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown platform %q", name)
+}
+
+// Occupancy describes how many CTAs of a kernel fit on one SM and which
+// resource limits that count.
+type Occupancy struct {
+	CTAsPerSM   int
+	WarpsPerSM  int
+	LimitedBy   string  // "cta-slots", "warp-slots", "registers", "shared-memory"
+	Theoretical float64 // warps resident / warp slots
+}
+
+// OccupancyFor computes the occupancy of a kernel with the given per-CTA
+// shape: warps per CTA, registers per thread and shared-memory bytes per
+// CTA. It mirrors the CUDA occupancy calculation the paper relies on for
+// the "CTAs" column of Table 2.
+func (a *Arch) OccupancyFor(warpsPerCTA, regsPerThread, smemPerCTA int) Occupancy {
+	if warpsPerCTA <= 0 {
+		return Occupancy{LimitedBy: "invalid"}
+	}
+	limit := a.CTASlots
+	by := "cta-slots"
+	if n := a.WarpSlots / warpsPerCTA; n < limit {
+		limit, by = n, "warp-slots"
+	}
+	if regsPerThread > 0 {
+		regsPerCTA := regsPerThread * warpsPerCTA * WarpSize
+		if n := a.Registers / regsPerCTA; n < limit {
+			limit, by = n, "registers"
+		}
+	}
+	if smemPerCTA > 0 {
+		if n := a.SharedMem / smemPerCTA; n < limit {
+			limit, by = n, "shared-memory"
+		}
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	warps := limit * warpsPerCTA
+	return Occupancy{
+		CTAsPerSM:   limit,
+		WarpsPerSM:  warps,
+		LimitedBy:   by,
+		Theoretical: float64(warps) / float64(a.WarpSlots),
+	}
+}
+
+// L2TransactionsPerL1Miss is the number of L2 read transactions one L1
+// miss generates: four on Fermi/Kepler (128B line over 32B L2 lines) and
+// two on Maxwell/Pascal (two 32B sectors), matching Section 3.1-(1).
+func (a *Arch) L2TransactionsPerL1Miss() int {
+	if a.L1Sectored {
+		return 2
+	}
+	return a.L1Line / a.L2Line
+}

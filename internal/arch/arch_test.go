@@ -1,0 +1,196 @@
+package arch
+
+import "testing"
+
+// TestTable1Values pins the architecture descriptors to the paper's
+// Table 1 rows.
+func TestTable1Values(t *testing.T) {
+	cases := []struct {
+		a         *Arch
+		gen       Generation
+		cc        string
+		sms       int
+		warpSlots int
+		ctaSlots  int
+		l1Line    int
+		l2KB      int
+		regsK     int
+	}{
+		{GTX570(), Fermi, "2.0", 15, 48, 8, 128, 1536, 32},
+		{TeslaK40(), Kepler, "3.5", 15, 64, 16, 128, 1536, 64},
+		{GTX980(), Maxwell, "5.2", 16, 64, 32, 32, 2048, 64},
+		{GTX1080(), Pascal, "6.1", 20, 64, 32, 32, 2048, 64},
+	}
+	for _, c := range cases {
+		if c.a.Gen != c.gen {
+			t.Errorf("%s: gen = %v, want %v", c.a.Name, c.a.Gen, c.gen)
+		}
+		if c.a.CC != c.cc {
+			t.Errorf("%s: CC = %s, want %s", c.a.Name, c.a.CC, c.cc)
+		}
+		if c.a.SMs != c.sms {
+			t.Errorf("%s: SMs = %d, want %d", c.a.Name, c.a.SMs, c.sms)
+		}
+		if c.a.WarpSlots != c.warpSlots {
+			t.Errorf("%s: warp slots = %d, want %d", c.a.Name, c.a.WarpSlots, c.warpSlots)
+		}
+		if c.a.CTASlots != c.ctaSlots {
+			t.Errorf("%s: CTA slots = %d, want %d", c.a.Name, c.a.CTASlots, c.ctaSlots)
+		}
+		if c.a.L1Line != c.l1Line {
+			t.Errorf("%s: L1 line = %d, want %d", c.a.Name, c.a.L1Line, c.l1Line)
+		}
+		if c.a.L2Size != c.l2KB*KB {
+			t.Errorf("%s: L2 = %d, want %dKB", c.a.Name, c.a.L2Size, c.l2KB)
+		}
+		if c.a.Registers != c.regsK*1024 {
+			t.Errorf("%s: regs = %d, want %dK", c.a.Name, c.a.Registers, c.regsK)
+		}
+	}
+}
+
+// TestL1LineNotSmallerThanL2Line checks the invariant Section 2 calls
+// out as important: the L1 line size is >= the L2 line size everywhere.
+func TestL1LineNotSmallerThanL2Line(t *testing.T) {
+	for _, a := range append(All(), GTX750Ti()) {
+		if a.L1Line < a.L2Line {
+			t.Errorf("%s: L1 line %d < L2 line %d", a.Name, a.L1Line, a.L2Line)
+		}
+	}
+}
+
+// TestSectoring pins the L1/Tex unification split: Fermi/Kepler have a
+// true L1, Maxwell/Pascal a sectored unified cache.
+func TestSectoring(t *testing.T) {
+	for _, a := range All() {
+		wantSectored := a.Gen == Maxwell || a.Gen == Pascal
+		if a.L1Sectored != wantSectored {
+			t.Errorf("%s: sectored = %v, want %v", a.Name, a.L1Sectored, wantSectored)
+		}
+	}
+}
+
+// TestL2TransactionsPerL1Miss checks the Section 3.1-(1) observation:
+// one 128B L1 miss is four 32B L2 transactions on Fermi/Kepler; a
+// sectored miss is two on Maxwell/Pascal.
+func TestL2TransactionsPerL1Miss(t *testing.T) {
+	if got := GTX570().L2TransactionsPerL1Miss(); got != 4 {
+		t.Errorf("Fermi: %d, want 4", got)
+	}
+	if got := TeslaK40().L2TransactionsPerL1Miss(); got != 4 {
+		t.Errorf("Kepler: %d, want 4", got)
+	}
+	if got := GTX980().L2TransactionsPerL1Miss(); got != 2 {
+		t.Errorf("Maxwell: %d, want 2", got)
+	}
+	if got := GTX1080().L2TransactionsPerL1Miss(); got != 2 {
+		t.Errorf("Pascal: %d, want 2", got)
+	}
+}
+
+// TestOccupancyLimits exercises each limiting resource.
+func TestOccupancyLimits(t *testing.T) {
+	a := TeslaK40() // 16 CTA slots, 64 warp slots, 64K regs, 48KB smem
+
+	// CTA-slot limited: tiny CTAs.
+	occ := a.OccupancyFor(1, 8, 0)
+	if occ.CTAsPerSM != 16 || occ.LimitedBy != "cta-slots" {
+		t.Errorf("cta-slot case: got %+v", occ)
+	}
+	// Warp-slot limited: 32-warp CTAs -> 2.
+	occ = a.OccupancyFor(32, 8, 0)
+	if occ.CTAsPerSM != 2 || occ.LimitedBy != "warp-slots" {
+		t.Errorf("warp-slot case: got %+v", occ)
+	}
+	// Register limited: 64 regs * 256 threads = 16K regs/CTA -> 4.
+	occ = a.OccupancyFor(8, 64, 0)
+	if occ.CTAsPerSM != 4 || occ.LimitedBy != "registers" {
+		t.Errorf("register case: got %+v", occ)
+	}
+	// Shared-memory limited: 16KB/CTA over 48KB -> 3.
+	occ = a.OccupancyFor(1, 8, 16*KB)
+	if occ.CTAsPerSM != 3 || occ.LimitedBy != "shared-memory" {
+		t.Errorf("smem case: got %+v", occ)
+	}
+	// Invalid warps.
+	if occ := a.OccupancyFor(0, 8, 0); occ.CTAsPerSM != 0 {
+		t.Errorf("invalid warps: got %+v", occ)
+	}
+}
+
+// TestOccupancyTheoretical checks the warps/warp-slot ratio.
+func TestOccupancyTheoretical(t *testing.T) {
+	a := GTX570()
+	occ := a.OccupancyFor(8, 16, 0) // 6 CTAs by warp slots: 48/8
+	if occ.CTAsPerSM != 6 {
+		t.Fatalf("CTAs = %d, want 6", occ.CTAsPerSM)
+	}
+	if occ.Theoretical != 1.0 {
+		t.Errorf("theoretical = %v, want 1.0", occ.Theoretical)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"GTX570", "TeslaK40", "GTX980", "GTX1080", "GTX750Ti"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if a.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, a.Name)
+		}
+	}
+	if _, err := ByName("RTX6000"); err == nil {
+		t.Error("ByName(RTX6000) should fail")
+	}
+}
+
+func TestGTX750TiRandomScheduler(t *testing.T) {
+	if GTX750Ti().DefaultScheduler != SchedRandom {
+		t.Error("GTX750Ti should default to the random scheduling pattern (Section 3.1-(3))")
+	}
+	for _, a := range All() {
+		if a.DefaultScheduler != SchedFirstWaveRR {
+			t.Errorf("%s should default to first-wave RR", a.Name)
+		}
+	}
+}
+
+func TestStaticWarpSlotBinding(t *testing.T) {
+	for _, a := range All() {
+		want := a.Gen == Fermi || a.Gen == Kepler
+		if a.StaticWarpSlotBinding != want {
+			t.Errorf("%s: static binding = %v, want %v", a.Name, a.StaticWarpSlotBinding, want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Fermi.String() != "Fermi" || Pascal.String() != "Pascal" {
+		t.Error("Generation.String broken")
+	}
+	if Generation(99).String() == "" {
+		t.Error("unknown generation should still print")
+	}
+	if SchedFirstWaveRR.String() != "first-wave-rr" || SchedRandom.String() != "random" ||
+		SchedStrictRR.String() != "strict-rr" {
+		t.Error("SchedulerPolicy.String broken")
+	}
+	if SchedulerPolicy(42).String() == "" {
+		t.Error("unknown policy should still print")
+	}
+}
+
+// TestAllOrder pins the paper's platform ordering.
+func TestAllOrder(t *testing.T) {
+	all := All()
+	want := []string{"GTX570", "TeslaK40", "GTX980", "GTX1080"}
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d platforms", len(all))
+	}
+	for i, n := range want {
+		if all[i].Name != n {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, n)
+		}
+	}
+}

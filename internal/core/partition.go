@@ -1,0 +1,99 @@
+// Package core implements the paper's contribution: CTA-Clustering — the
+// Partitioning / Inverting / Binding pipeline of Section 4.2 — realised
+// as two kernel transforms (redirection-based and agent-based), plus the
+// complementary optimizations of Section 4.3: CTA throttling, cache
+// bypassing and CTA prefetching under the reshaped order.
+//
+// The transforms rewrite kernel.Kernel values the way the paper's header
+// files (Listings 4 and 5) rewrite CUDA kernels, and run on the
+// unmodified simulator in internal/engine — circumventing the modelled
+// GigaThread scheduler exactly as the real implementation circumvents
+// the hardware one.
+package core
+
+import "fmt"
+
+// Partition is the balanced chunking f: V -> (w, i) of Section 4.2.1,
+// splitting the |V| CTAs of the original kernel (in a chosen indexing
+// order) into M balanced clusters. The first |V|%M clusters receive
+// ceil(|V|/M) CTAs and the rest floor(|V|/M), which is exactly the
+// conditional form of Eqs. 4 and 5; Invert is Eq. 7.
+type Partition struct {
+	V int // |V|: number of CTAs in the original kernel
+	M int // number of clusters (= number of SMs)
+}
+
+// NewPartition validates and builds a partition.
+func NewPartition(totalCTAs, clusters int) (Partition, error) {
+	if totalCTAs <= 0 {
+		return Partition{}, fmt.Errorf("core: partition needs a positive CTA count, got %d", totalCTAs)
+	}
+	if clusters <= 0 {
+		return Partition{}, fmt.Errorf("core: partition needs a positive cluster count, got %d", clusters)
+	}
+	return Partition{V: totalCTAs, M: clusters}, nil
+}
+
+// Map computes f(v) = (w, i): the cluster i that CTA v belongs to and
+// its position w within that cluster.
+func (p Partition) Map(v int) (w, i int) {
+	if v < 0 || v >= p.V {
+		panic(fmt.Sprintf("core: CTA id %d out of range [0,%d)", v, p.V))
+	}
+	d := p.V / p.M // floor cluster size
+	k := p.V % p.M // clusters holding one extra CTA
+	big := k * (d + 1)
+	if v < big {
+		return v % (d + 1), v / (d + 1)
+	}
+	v -= big
+	return v % d, k + v/d
+}
+
+// Invert computes v = f⁻¹(w, i) (Eq. 7):
+//
+//	v = i*(|V|/M + 1) + w + min(|V|%M - i, 0)
+func (p Partition) Invert(w, i int) int {
+	if i < 0 || i >= p.M {
+		panic(fmt.Sprintf("core: cluster %d out of range [0,%d)", i, p.M))
+	}
+	if w < 0 || w >= p.ClusterSize(i) {
+		panic(fmt.Sprintf("core: position %d out of range for cluster %d (size %d)", w, i, p.ClusterSize(i)))
+	}
+	d := p.V / p.M
+	k := p.V % p.M
+	v := i*(d+1) + w
+	if k-i < 0 {
+		v += k - i
+	}
+	return v
+}
+
+// ClusterSize returns |C_i|.
+func (p Partition) ClusterSize(i int) int {
+	d := p.V / p.M
+	if i < p.V%p.M {
+		return d + 1
+	}
+	return d
+}
+
+// ClusterBase returns the smallest v assigned to cluster i (the _base of
+// Listing 5).
+func (p Partition) ClusterBase(i int) int {
+	d := p.V / p.M
+	k := p.V % p.M
+	base := i * (d + 1)
+	if k-i < 0 {
+		base += k - i
+	}
+	return base
+}
+
+// RRBind computes the RR-based binding g: N -> C of Eq. 8 for CTA u of
+// the new kernel under the (incorrect on real hardware) assumption that
+// the GigaThread Engine dispatches the new kernel strictly round-robin
+// over M SMs: (w, i) = (u/M, u%M).
+func (p Partition) RRBind(u int) (w, i int) {
+	return u / p.M, u % p.M
+}

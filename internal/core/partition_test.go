@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperMMExample(t *testing.T) {
+	// Section 4.2.1: MM with |V|=6, M=2.
+	p, err := NewPartition(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(CTA-(0,1)) = f(v=3) = (0,1).
+	w, i := p.Map(3)
+	if w != 0 || i != 1 {
+		t.Errorf("f(3) = (%d,%d), want (0,1)", w, i)
+	}
+	// Section 4.2.2: f^-1((2,1)) = 5.
+	if v := p.Invert(2, 1); v != 5 {
+		t.Errorf("f^-1(2,1) = %d, want 5", v)
+	}
+}
+
+func TestPartitionRoundTripProperty(t *testing.T) {
+	f := func(vRaw uint16, mRaw, totRaw uint8) bool {
+		m := int(mRaw%31) + 1
+		total := int(totRaw)%200 + 1
+		p, err := NewPartition(total, m)
+		if err != nil {
+			return false
+		}
+		v := int(vRaw) % total
+		w, i := p.Map(v)
+		if i < 0 || i >= m {
+			return false
+		}
+		if w < 0 || w >= p.ClusterSize(i) {
+			return false
+		}
+		return p.Invert(w, i) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalanceProperty(t *testing.T) {
+	// Cluster sizes differ by at most one and sum to |V|.
+	f := func(mRaw, totRaw uint8) bool {
+		m := int(mRaw%31) + 1
+		total := int(totRaw)%250 + 1
+		p, err := NewPartition(total, m)
+		if err != nil {
+			return false
+		}
+		sum, min, max := 0, total+1, -1
+		for i := 0; i < m; i++ {
+			sz := p.ClusterSize(i)
+			sum += sz
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		return sum == total && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCoverage(t *testing.T) {
+	// Map must be a bijection V -> union of clusters.
+	p, _ := NewPartition(53, 7)
+	seen := map[[2]int]bool{}
+	for v := 0; v < 53; v++ {
+		w, i := p.Map(v)
+		key := [2]int{w, i}
+		if seen[key] {
+			t.Fatalf("duplicate (w,i) = %v", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 53 {
+		t.Fatalf("coverage = %d", len(seen))
+	}
+}
+
+func TestClusterBase(t *testing.T) {
+	p, _ := NewPartition(23, 5) // sizes 5,5,5,4,4
+	for i := 0; i < 5; i++ {
+		if got := p.Invert(0, i); got != p.ClusterBase(i) {
+			t.Errorf("cluster %d: base %d != Invert(0,i) %d", i, p.ClusterBase(i), got)
+		}
+	}
+	// Bases ascend and tile the range.
+	for i := 1; i < 5; i++ {
+		if p.ClusterBase(i) != p.ClusterBase(i-1)+p.ClusterSize(i-1) {
+			t.Errorf("cluster %d base does not follow cluster %d", i, i-1)
+		}
+	}
+}
+
+func TestRRBindBijectionProperty(t *testing.T) {
+	// Under strict-RR dispatch, binding u -> (w,i) -> Invert covers the
+	// original kernel exactly once (the Listing-4 redirection math).
+	f := func(mRaw, totRaw uint8) bool {
+		m := int(mRaw%31) + 1
+		total := int(totRaw)%250 + 1
+		p, err := NewPartition(total, m)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, total)
+		for u := 0; u < total; u++ {
+			w, i := p.RRBind(u)
+			if i != u%m || w != u/m {
+				return false
+			}
+			if w >= p.ClusterSize(i) {
+				return false
+			}
+			v := p.Invert(w, i)
+			if v < 0 || v >= total || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	if _, err := NewPartition(0, 4); err == nil {
+		t.Error("zero CTAs should fail")
+	}
+	if _, err := NewPartition(10, 0); err == nil {
+		t.Error("zero clusters should fail")
+	}
+}
+
+func TestMapPanicsOutOfRange(t *testing.T) {
+	p, _ := NewPartition(10, 2)
+	for _, f := range []func(){
+		func() { p.Map(-1) },
+		func() { p.Map(10) },
+		func() { p.Invert(0, 2) },
+		func() { p.Invert(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMoreClustersThanCTAs: empty clusters are legal (grids smaller than
+// the SM count).
+func TestMoreClustersThanCTAs(t *testing.T) {
+	p, _ := NewPartition(3, 8)
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += p.ClusterSize(i)
+	}
+	if total != 3 {
+		t.Errorf("sizes sum to %d", total)
+	}
+	if p.ClusterSize(7) != 0 {
+		t.Error("trailing clusters should be empty")
+	}
+}

@@ -1,0 +1,295 @@
+// Package engine is a discrete-event, trace-driven simulator of a modern
+// NVIDIA GPU: SMs with issue-limited warp execution, CTA slots and
+// barriers, per-SM L1 (or sectored L1/Tex unified) caches, a GigaThread
+// CTA dispatcher with the scheduling patterns observed in Section
+// 3.1-(3), and the shared NoC/L2/DRAM hierarchy from internal/mem.
+//
+// The engine executes kernel.Kernel values. Because CTA work is
+// requested at dispatch time with the physical placement (SM, slot) in
+// the Launch context, both ordinary kernels and the clustered kernels
+// produced by internal/core run unmodified.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/cache"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/mem"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	Arch *arch.Arch
+	// Scheduler overrides the architecture's default GigaThread policy
+	// when set (UseArchDefault leaves it alone).
+	Scheduler arch.SchedulerPolicy
+	// UseArchDefault selects Arch.DefaultScheduler instead of Scheduler.
+	UseArchDefault bool
+	// L1Enabled turns the L1 data cache on; the framework's probing step
+	// (Section 4.4) compares runs with it on and off.
+	L1Enabled bool
+	// Seed feeds the random scheduler pattern and tie-breaking.
+	Seed int64
+	// MaxCycles aborts runaway simulations; 0 means the default bound.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the customary configuration for an architecture:
+// its observed scheduler, L1 enabled.
+func DefaultConfig(ar *arch.Arch) Config {
+	return Config{Arch: ar, UseArchDefault: true, L1Enabled: true, Seed: 1}
+}
+
+// CTARecord reports per-CTA outcomes needed by the Listing-3
+// microbenchmark and the dispatch-order analyses.
+type CTARecord struct {
+	CTA        int   // linear id in the launched kernel
+	SM         int   // SM it executed on
+	Slot       int   // CTA slot used
+	Dispatched int64 // cycle of dispatch
+	Retired    int64 // cycle of retirement
+	MemLatency int64 // summed memory-op latency observed by its warps
+	MemOps     int64 // number of blocking memory ops
+	Skipped    bool  // retired immediately (throttled agent)
+}
+
+// AvgAccessCycles returns the mean latency of the CTA's blocking memory
+// ops — the t2-t1 measurement of Listing 3.
+func (r CTARecord) AvgAccessCycles() float64 {
+	if r.MemOps == 0 {
+		return 0
+	}
+	return float64(r.MemLatency) / float64(r.MemOps)
+}
+
+// Result is everything a simulation produces.
+type Result struct {
+	Kernel string
+	Arch   string
+	Cycles int64
+
+	L1  cache.Stats // aggregated over all SMs
+	Mem mem.Stats
+	L2  cache.Stats
+
+	CTAs []CTARecord
+	// PerSM lists, for each SM, the CTA ids it executed in dispatch
+	// order (the smids array of Listing 3).
+	PerSM [][]int
+
+	// AchievedOccupancy is the time-weighted average of resident warps
+	// over warp slots while the kernel had work in flight.
+	AchievedOccupancy float64
+
+	// L1PerSM keeps the individual L1 stats for locality inspection.
+	L1PerSM []cache.Stats
+}
+
+// L2ReadTransactions is the paper's headline cache metric: 32B read
+// transactions arriving at L2 (L1-L2 read transactions).
+func (r *Result) L2ReadTransactions() uint64 { return r.Mem.ReadTransactions }
+
+// warpState is one resident warp.
+type warpState struct {
+	cta  *ctaState
+	id   int // warp index within the CTA
+	ops  []kernel.Op
+	pc   int
+	done bool
+
+	// In-flight load window: a warp pipelines up to mlpWindow
+	// independent loads (the LSU queue / scoreboard); dependent ops
+	// (barriers, stores, atomics, trace end) drain it.
+	outstanding int
+	pendDone    int64 // completion time of the latest outstanding load
+}
+
+// ctaState is one resident CTA.
+type ctaState struct {
+	rec        CTARecord
+	warps      []*warpState
+	live       int // warps not yet finished
+	barWait    int // warps blocked at the current barrier
+	barBlocked []*warpState
+	sm         *smState
+}
+
+// smState is one streaming multiprocessor.
+type smState struct {
+	id        int
+	l1        *cache.Cache
+	issueFree int64
+	slots     []*ctaState      // fixed-capacity CTA slots; nil = free
+	pendFills map[uint64]int64 // L1 line+sector key -> fill completion
+	resident  int              // resident warps (occupancy tracking)
+}
+
+// sim is the run state.
+type sim struct {
+	cfg    Config
+	ar     *arch.Arch
+	pol    arch.SchedulerPolicy
+	kern   kernel.Kernel
+	memsys *mem.System
+	sms    []*smState
+	sched  scheduler
+	rng    *rand.Rand
+
+	nextCTA    int // next undispatched CTA (dispatch order)
+	dispatched int
+	totalCTAs  int
+	order      []int // dispatch order of CTA ids (policy-shuffled)
+
+	ctasPerSM   int
+	warpsPerCTA int
+
+	records []CTARecord
+	perSM   [][]int
+
+	// occupancy integral
+	occLast  int64
+	occAccum float64
+	occBusy  int64
+
+	now int64
+}
+
+// Run simulates k to completion under cfg and returns the results.
+func Run(cfg Config, k kernel.Kernel) (*Result, error) {
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("engine: nil architecture")
+	}
+	ar := cfg.Arch
+	pol := cfg.Scheduler
+	if cfg.UseArchDefault {
+		pol = ar.DefaultScheduler
+	}
+	warpsPerCTA := k.WarpsPerCTA()
+	if warpsPerCTA <= 0 {
+		return nil, fmt.Errorf("engine: kernel %s has no warps", k.Name())
+	}
+	occ := ar.OccupancyFor(warpsPerCTA, k.RegsPerThread(ar.Gen), k.SharedMemPerCTA())
+	if occ.CTAsPerSM <= 0 {
+		return nil, fmt.Errorf("engine: kernel %s does not fit on %s", k.Name(), ar.Name)
+	}
+	total := k.GridDim().Count()
+	if total <= 0 {
+		return nil, fmt.Errorf("engine: kernel %s has an empty grid", k.Name())
+	}
+	// A launch resets any per-launch kernel state (e.g. the agent-id
+	// counters of agent-based clustering).
+	if r, ok := k.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+
+	s := &sim{
+		cfg:         cfg,
+		ar:          ar,
+		pol:         pol,
+		kern:        k,
+		memsys:      mem.New(ar),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		totalCTAs:   total,
+		ctasPerSM:   occ.CTAsPerSM,
+		warpsPerCTA: warpsPerCTA,
+		records:     make([]CTARecord, total),
+		perSM:       make([][]int, ar.SMs),
+	}
+	s.sms = make([]*smState, ar.SMs)
+	for i := range s.sms {
+		sectors := 1
+		if ar.L1Sectored {
+			sectors = 2
+		}
+		s.sms[i] = &smState{
+			id: i,
+			l1: cache.New(cache.Config{
+				Size:    ar.L1Size,
+				Line:    ar.L1Line,
+				Assoc:   ar.L1Assoc,
+				Sectors: sectors,
+				Policy:  cache.WriteEvict,
+			}),
+			slots:     make([]*ctaState, occ.CTAsPerSM),
+			pendFills: make(map[uint64]int64),
+		}
+	}
+	s.buildOrder()
+	s.firstWave()
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+func (s *sim) result() *Result {
+	res := &Result{
+		Kernel: s.kern.Name(),
+		Arch:   s.ar.Name,
+		Cycles: s.now,
+		Mem:    s.memsys.Stats(),
+		L2:     s.memsys.L2Stats(),
+		CTAs:   s.records,
+		PerSM:  s.perSM,
+	}
+	res.L1PerSM = make([]cache.Stats, len(s.sms))
+	for i, sm := range s.sms {
+		st := sm.l1.Stats()
+		res.L1PerSM[i] = st
+		res.L1.Reads += st.Reads
+		res.L1.Writes += st.Writes
+		res.L1.ReadHits += st.ReadHits
+		res.L1.ReadReserved += st.ReadReserved
+		res.L1.ReadMisses += st.ReadMisses
+		res.L1.WriteHits += st.WriteHits
+		res.L1.WriteMisses += st.WriteMisses
+		res.L1.BypassedReads += st.BypassedReads
+		res.L1.Evictions += st.Evictions
+		res.L1.Fills += st.Fills
+	}
+	if s.occBusy > 0 {
+		res.AchievedOccupancy = s.occAccum / float64(s.occBusy) /
+			float64(s.ar.WarpSlots*s.ar.SMs)
+	}
+	return res
+}
+
+const defaultMaxCycles = int64(1) << 33
+
+func (s *sim) loop() error {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+	for {
+		ev, ok := s.sched.next()
+		if !ok {
+			break
+		}
+		if ev.at > maxCycles {
+			return fmt.Errorf("engine: kernel %s exceeded %d cycles", s.kern.Name(), maxCycles)
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.step(ev.warp)
+	}
+	if s.dispatched != s.totalCTAs {
+		return fmt.Errorf("engine: deadlock — %d of %d CTAs dispatched", s.dispatched, s.totalCTAs)
+	}
+	// A drained event queue with unfinished CTAs means warps are stuck
+	// at a barrier their peers will never reach (malformed kernel).
+	for _, sm := range s.sms {
+		for _, cta := range sm.slots {
+			if cta != nil {
+				return fmt.Errorf("engine: kernel %s deadlocked — CTA %d stuck at a barrier (%d of %d warps waiting)",
+					s.kern.Name(), cta.rec.CTA, cta.barWait, cta.live)
+			}
+		}
+	}
+	s.memsys.Drain()
+	return nil
+}

@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// testKernel is a minimal configurable kernel for engine tests.
+type testKernel struct {
+	name  string
+	grid  kernel.Dim3
+	block kernel.Dim3
+	regs  int
+	smem  int
+	work  func(l kernel.Launch) kernel.CTAWork
+}
+
+func (k *testKernel) Name() string                        { return k.name }
+func (k *testKernel) GridDim() kernel.Dim3                { return k.grid }
+func (k *testKernel) BlockDim() kernel.Dim3               { return k.block }
+func (k *testKernel) WarpsPerCTA() int                    { return kernel.WarpCount(k.block) }
+func (k *testKernel) RegsPerThread(arch.Generation) int   { return k.regs }
+func (k *testKernel) SharedMemPerCTA() int                { return k.smem }
+func (k *testKernel) Work(l kernel.Launch) kernel.CTAWork { return k.work(l) }
+
+func simpleKernel(ctas, warps int, ops func(l kernel.Launch, w int) []kernel.Op) *testKernel {
+	return &testKernel{
+		name:  "test",
+		grid:  kernel.Dim1(ctas),
+		block: kernel.Dim1(warps * 32),
+		regs:  16,
+		work: func(l kernel.Launch) kernel.CTAWork {
+			warpsOps := make([][]kernel.Op, warps)
+			for w := range warpsOps {
+				warpsOps[w] = ops(l, w)
+			}
+			return kernel.CTAWork{Warps: warpsOps}
+		},
+	}
+}
+
+func TestRunCompletesAllCTAs(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(100, 2, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(10), kernel.Load(uint64(0x1000+l.CTA*128), 4, 32, 4)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CTAs) != 100 {
+		t.Fatalf("records = %d", len(res.CTAs))
+	}
+	for i, rec := range res.CTAs {
+		if rec.Retired == 0 {
+			t.Fatalf("CTA %d never retired", i)
+		}
+		if rec.SM < 0 || rec.SM >= ar.SMs {
+			t.Fatalf("CTA %d on invalid SM %d", i, rec.SM)
+		}
+	}
+	// Every CTA appears on exactly one SM's dispatch list.
+	seen := map[int]int{}
+	for _, list := range res.PerSM {
+		for _, id := range list {
+			seen[id]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("dispatch lists cover %d CTAs", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("CTA %d dispatched %d times", id, n)
+		}
+	}
+}
+
+func TestFirstWaveRoundRobin(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(ar.SMs*2, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(100)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under first-wave RR, CTA i of the first round lands on SM i.
+	for i := 0; i < ar.SMs; i++ {
+		if res.CTAs[i].SM != i {
+			t.Errorf("CTA %d on SM %d, want %d (first-wave RR)", i, res.CTAs[i].SM, i)
+		}
+	}
+}
+
+func TestStrictRRMapping(t *testing.T) {
+	ar := arch.TeslaK40()
+	cfg := DefaultConfig(ar)
+	cfg.UseArchDefault = false
+	cfg.Scheduler = arch.SchedStrictRR
+	k := simpleKernel(ar.SMs*5, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(50 + l.CTA%37)}
+	})
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.CTAs {
+		if rec.SM != i%ar.SMs {
+			t.Fatalf("strict RR: CTA %d on SM %d, want %d", i, rec.SM, i%ar.SMs)
+		}
+	}
+}
+
+func TestRandomPolicyCoversAllCTAs(t *testing.T) {
+	ar := arch.GTX750Ti()
+	k := simpleKernel(ar.SMs*ar.CTASlots*2, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(10)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, list := range res.PerSM {
+		total += len(list)
+	}
+	if total != k.grid.Count() {
+		t.Fatalf("random policy dispatched %d of %d CTAs", total, k.grid.Count())
+	}
+	// The random pattern should not be the identity RR assignment.
+	identity := true
+	for i := 0; i < ar.SMs && identity; i++ {
+		identity = res.CTAs[i].SM == i
+	}
+	if identity {
+		t.Log("warning: random order coincided with RR for the first wave (possible but unlikely)")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ar := arch.GTX980()
+	mk := func() *testKernel {
+		return simpleKernel(200, 2, func(l kernel.Launch, w int) []kernel.Op {
+			return []kernel.Op{
+				kernel.Load(uint64(0x1000+l.CTA*64+w*32), 4, 32, 4),
+				kernel.Compute(5),
+				kernel.Store(uint64(0x100000+l.CTA*128), 4, 32, 4),
+			}
+		})
+	}
+	r1, err := Run(DefaultConfig(ar), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(DefaultConfig(ar), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.L2ReadTransactions() != r2.L2ReadTransactions() {
+		t.Errorf("simulation is not deterministic: %d/%d vs %d/%d cycles/txns",
+			r1.Cycles, r1.L2ReadTransactions(), r2.Cycles, r2.L2ReadTransactions())
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	ar := arch.TeslaK40()
+	// Warp 0 computes long, warp 1 short; both store after a barrier.
+	// With the barrier, warp 1's store cannot precede warp 0's compute.
+	k := simpleKernel(1, 2, func(l kernel.Launch, w int) []kernel.Op {
+		c := 10
+		if w == 0 {
+			c = 500
+		}
+		return []kernel.Op{kernel.Compute(c), kernel.Barrier(), kernel.Compute(1)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 500 {
+		t.Errorf("barrier ignored: kernel finished in %d cycles", res.Cycles)
+	}
+}
+
+func TestBarrierReleasedByFinishingWarp(t *testing.T) {
+	ar := arch.TeslaK40()
+	// Warp 1 ends without reaching the barrier; warp 0 must still be
+	// released once warp 1 finishes (live-warp barrier semantics).
+	k := simpleKernel(1, 2, func(l kernel.Launch, w int) []kernel.Op {
+		if w == 0 {
+			return []kernel.Op{kernel.Barrier(), kernel.Compute(1)}
+		}
+		return []kernel.Op{kernel.Compute(50)}
+	})
+	if _, err := Run(DefaultConfig(ar), k); err != nil {
+		t.Fatalf("deadlock: %v", err)
+	}
+}
+
+func TestSkipCTARetiresImmediately(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(30, 1, nil)
+	k.work = func(l kernel.Launch) kernel.CTAWork {
+		if l.CTA%2 == 1 {
+			return kernel.CTAWork{Skip: true}
+		}
+		return kernel.CTAWork{Warps: [][]kernel.Op{{kernel.Compute(100)}}}
+	}
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.CTAs {
+		if i%2 == 1 && !rec.Skipped {
+			t.Errorf("CTA %d should be skipped", i)
+		}
+		if i%2 == 0 && rec.Skipped {
+			t.Errorf("CTA %d should not be skipped", i)
+		}
+	}
+}
+
+func TestMemoryLatencyObserved(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(1, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Barrier(), kernel.Load(0x8000, 0, 1, 4), kernel.Barrier()}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.CTAs[0]
+	if rec.MemOps != 1 {
+		t.Fatalf("memOps = %d", rec.MemOps)
+	}
+	if lat := rec.AvgAccessCycles(); lat < float64(ar.DRAMLatency) || lat > float64(ar.DRAMLatency)+64 {
+		t.Errorf("cold load latency = %.0f, want ~%d", lat, ar.DRAMLatency)
+	}
+}
+
+func TestL1TemporalReuseWithinCTA(t *testing.T) {
+	ar := arch.TeslaK40()
+	// Two loads of the same address separated by a barrier: the second
+	// must be an L1 hit at ~L1 latency.
+	k := simpleKernel(1, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{
+			kernel.Load(0x8000, 0, 1, 4), kernel.Barrier(),
+			kernel.Load(0x8000, 0, 1, 4), kernel.Barrier(),
+		}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1.ReadHits != 1 || res.L1.ReadMisses != 1 {
+		t.Errorf("L1 stats = %+v, want 1 hit / 1 miss", res.L1)
+	}
+}
+
+func TestL1Disabled(t *testing.T) {
+	ar := arch.TeslaK40()
+	cfg := DefaultConfig(ar)
+	cfg.L1Enabled = false
+	k := simpleKernel(4, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Load(0x8000, 0, 1, 4)}
+	})
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1.Reads != 0 {
+		t.Error("disabled L1 should see no demand reads")
+	}
+	if res.L1.BypassedReads == 0 {
+		t.Error("disabled L1 should count bypasses")
+	}
+}
+
+func TestBypassedLoadSkipsL1(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(2, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Load(0x8000, 4, 32, 4).Bypassed()}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1.Reads != 0 || res.L1.BypassedReads == 0 {
+		t.Errorf("bypass accounting wrong: %+v", res.L1)
+	}
+	// Bypassed reads still reach L2 at 32B granularity.
+	if res.L2ReadTransactions() == 0 {
+		t.Error("bypassed loads must still generate L2 transactions")
+	}
+}
+
+func TestPrefetchDoesNotBlock(t *testing.T) {
+	ar := arch.TeslaK40()
+	// A prefetch followed by compute: the warp should finish in roughly
+	// compute time, not prefetch latency; and the prefetched line should
+	// be (eventually) resident.
+	k := simpleKernel(1, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Load(0x8000, 0, 1, 4).Prefetched(), kernel.Compute(5)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > int64(ar.DRAMLatency) {
+		t.Errorf("prefetch blocked the warp: %d cycles", res.Cycles)
+	}
+}
+
+func TestOccupancyReported(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := simpleKernel(ar.SMs*16*2, 4, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(200)}
+	})
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedOccupancy <= 0 || res.AchievedOccupancy > 1 {
+		t.Errorf("achieved occupancy = %v", res.AchievedOccupancy)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ar := arch.TeslaK40()
+	// Nil arch.
+	if _, err := Run(Config{}, simpleKernel(1, 1, func(kernel.Launch, int) []kernel.Op { return nil })); err == nil {
+		t.Error("nil arch should fail")
+	}
+	// Kernel too big for the SM.
+	big := simpleKernel(1, 1, func(kernel.Launch, int) []kernel.Op { return nil })
+	big.smem = ar.SharedMem + 1
+	if _, err := Run(DefaultConfig(ar), big); err == nil {
+		t.Error("oversized kernel should fail")
+	}
+	// Zero warps.
+	zero := simpleKernel(1, 1, func(kernel.Launch, int) []kernel.Op { return nil })
+	zero.block = kernel.Dim3{}
+	zero.block.X = 0 // Dim3 treats zero extents as 1, so force block 0 via WarpCount
+	if zero.WarpsPerCTA() == 0 {
+		if _, err := Run(DefaultConfig(ar), zero); err == nil {
+			t.Error("zero-warp kernel should fail")
+		}
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	ar := arch.TeslaK40()
+	cfg := DefaultConfig(ar)
+	cfg.MaxCycles = 100
+	k := simpleKernel(1, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(1000)}
+	})
+	if _, err := Run(cfg, k); err == nil {
+		t.Error("MaxCycles should abort the run")
+	}
+}
+
+func TestLaunchContextPlumbedThrough(t *testing.T) {
+	ar := arch.TeslaK40()
+	sawSM := map[int]bool{}
+	k := simpleKernel(ar.SMs*4, 1, nil)
+	k.work = func(l kernel.Launch) kernel.CTAWork {
+		sawSM[l.SM] = true
+		if l.Slot < 0 || l.WarpSlot != l.Slot*1 {
+			// 1 warp per CTA: warp slot == slot.
+			panic("bad launch context")
+		}
+		return kernel.CTAWork{Warps: [][]kernel.Op{{kernel.Compute(10)}}}
+	}
+	if _, err := Run(DefaultConfig(ar), k); err != nil {
+		t.Fatal(err)
+	}
+	if len(sawSM) != ar.SMs {
+		t.Errorf("work saw %d SMs, want %d", len(sawSM), ar.SMs)
+	}
+}
+
+func TestResetCalledPerLaunch(t *testing.T) {
+	ar := arch.TeslaK40()
+	k := &resettableKernel{testKernel: *simpleKernel(4, 1, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{kernel.Compute(5)}
+	})}
+	if _, err := Run(DefaultConfig(ar), k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(DefaultConfig(ar), k); err != nil {
+		t.Fatal(err)
+	}
+	if k.resets != 2 {
+		t.Errorf("Reset called %d times, want 2", k.resets)
+	}
+}
+
+type resettableKernel struct {
+	testKernel
+	resets int
+}
+
+func (k *resettableKernel) Reset() { k.resets++ }
+
+// TestDemandDrivenRefill checks that after the first wave, a freed slot
+// receives the next CTA (observed pattern 1 in Section 3.1-(3)).
+func TestDemandDrivenRefill(t *testing.T) {
+	ar := arch.TeslaK40()
+	// One CTA per SM at a time (32 warps exhausts 64 warp slots at 2;
+	// use huge smem to force 1 CTA/SM).
+	k := simpleKernel(ar.SMs+1, 1, func(l kernel.Launch, w int) []kernel.Op {
+		c := 100
+		if l.CTA == 3 {
+			c = 10 // CTA 3 finishes first
+		}
+		return []kernel.Op{kernel.Compute(c)}
+	})
+	k.smem = ar.SharedMem // exactly one CTA per SM
+	res, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.CTAs[ar.SMs] // the one extra CTA
+	if last.SM != 3 {
+		t.Errorf("demand-driven refill sent CTA %d to SM %d, want SM 3 (earliest retiree)", ar.SMs, last.SM)
+	}
+}

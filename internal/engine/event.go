@@ -1,0 +1,49 @@
+package engine
+
+import "container/heap"
+
+// event is one schedulable occurrence: a warp becoming ready to issue
+// its next op at a given cycle.
+type event struct {
+	at   int64
+	seq  uint64 // tie-break for determinism
+	warp *warpState
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+}
+
+func (s *scheduler) schedule(at int64, w *warpState) {
+	s.seq++
+	heap.Push(&s.q, event{at: at, seq: s.seq, warp: w})
+}
+
+func (s *scheduler) next() (event, bool) {
+	if len(s.q) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&s.q).(event), true
+}
+
+func (s *scheduler) empty() bool { return len(s.q) == 0 }

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// Pipeline constants (cycles). These are not per-architecture in the
+// paper; they model generic SM front-end costs.
+const (
+	issueInterval   = 1 // instructions issued per SM per cycle
+	barrierLatency  = 8 // __syncthreads release cost
+	storeAckLatency = 4 // stores are fire-and-forget past the LSU
+	dispatchLatency = 12
+)
+
+// buildOrder fixes the order the GigaThread engine consumes CTAs in.
+// Round-robin policies consume them in launch order; the random pattern
+// observed on GTX750Ti (and real applications) permutes within each
+// dispatch wave.
+func (s *sim) buildOrder() {
+	s.order = make([]int, s.totalCTAs)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	if s.pol == arch.SchedRandom {
+		wave := s.ctasPerSM * len(s.sms)
+		if wave <= 0 {
+			wave = len(s.sms)
+		}
+		for start := 0; start < len(s.order); start += wave {
+			end := start + wave
+			if end > len(s.order) {
+				end = len(s.order)
+			}
+			chunk := s.order[start:end]
+			s.rng.Shuffle(len(chunk), func(i, j int) {
+				chunk[i], chunk[j] = chunk[j], chunk[i]
+			})
+		}
+	}
+}
+
+// firstWave performs the initial assignment: each SM gets one CTA per
+// round until all SMs are saturated (Section 2, "CTA Scheduling").
+func (s *sim) firstWave() {
+	for round := 0; round < s.ctasPerSM; round++ {
+		for _, sm := range s.sms {
+			if s.nextCTA >= len(s.order) {
+				return
+			}
+			s.dispatchTo(sm, round, 0)
+		}
+	}
+}
+
+// dispatchTo places the next CTA (in policy order) onto sm at slot,
+// starting at time at.
+func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
+	id := s.order[s.nextCTA]
+	s.nextCTA++
+	s.dispatched++
+
+	launch := kernel.Launch{
+		CTA:      id,
+		SM:       sm.id,
+		Slot:     slot,
+		WarpSlot: slot * s.warpsPerCTA,
+	}
+	work := s.kern.Work(launch)
+
+	cta := &ctaState{sm: sm}
+	cta.rec = CTARecord{CTA: id, SM: sm.id, Slot: slot, Dispatched: at}
+	s.perSM[sm.id] = append(s.perSM[sm.id], id)
+
+	if work.Skip || len(work.Warps) == 0 {
+		// Throttled agent: retires immediately, freeing the slot.
+		cta.rec.Skipped = true
+		cta.rec.Retired = at + dispatchLatency
+		s.records[id] = cta.rec
+		s.afterRetire(sm, slot, cta.rec.Retired)
+		return
+	}
+
+	sm.slots[slot] = cta
+	cta.warps = make([]*warpState, len(work.Warps))
+	cta.live = len(work.Warps)
+	for i, ops := range work.Warps {
+		w := &warpState{cta: cta, id: i, ops: ops}
+		cta.warps[i] = w
+		s.sched.schedule(at+dispatchLatency, w)
+	}
+	s.occupancyDelta(sm, at, len(cta.warps))
+}
+
+// afterRetire hands the freed slot to the next CTA under the demand-
+// driven regime that follows the first wave. Strict-RR instead keeps the
+// static CTA->SM mapping prior work assumed.
+func (s *sim) afterRetire(sm *smState, slot int, at int64) {
+	if s.nextCTA >= len(s.order) {
+		return
+	}
+	if s.pol == arch.SchedStrictRR {
+		// CTA i belongs to SM i%SMs: dispatch the next CTA whose strict
+		// home is this SM.
+		want := s.order[s.nextCTA] % len(s.sms)
+		if want != sm.id {
+			// Search forward for a CTA homed here; strict RR launches in
+			// order, so only the immediate next matters per SM. Emulate
+			// per-SM queues by scanning.
+			for i := s.nextCTA; i < len(s.order); i++ {
+				if s.order[i]%len(s.sms) == sm.id {
+					s.order[i], s.order[s.nextCTA] = s.order[s.nextCTA], s.order[i]
+					break
+				}
+			}
+			if s.order[s.nextCTA]%len(s.sms) != sm.id {
+				return // nothing homed on this SM remains
+			}
+		}
+	}
+	s.dispatchTo(sm, slot, at)
+}
+
+// retire finishes a CTA.
+func (s *sim) retire(cta *ctaState, at int64) {
+	cta.rec.Retired = at
+	s.records[cta.rec.CTA] = cta.rec
+	sm := cta.sm
+	sm.slots[cta.rec.Slot] = nil
+	s.occupancyDelta(sm, at, -len(cta.warps))
+	s.afterRetire(sm, cta.rec.Slot, at)
+}
+
+// occupancyDelta integrates resident warps over time, then applies a
+// change of delta resident warps on sm at time at.
+func (s *sim) occupancyDelta(sm *smState, at int64, delta int) {
+	total := 0
+	for _, m := range s.sms {
+		total += m.resident
+	}
+	if at > s.occLast {
+		if total > 0 {
+			s.occAccum += float64(total) * float64(at-s.occLast)
+			s.occBusy += at - s.occLast
+		}
+		s.occLast = at
+	}
+	sm.resident += delta
+}

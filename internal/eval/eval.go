@@ -1,0 +1,266 @@
+// Package eval drives the paper's evaluation (Section 5): it runs every
+// application under the six schemes of Figures 12 and 13 — BSL, RD, CLU,
+// CLU+TOT, CLU+TOT+BPS and PFH+TOT — on each architecture, sweeping the
+// throttling degree the way the paper's dynamic CTA voting scheme picks
+// the optimal number of active agents.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/core"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/workloads"
+)
+
+// Scheme enumerates the evaluated configurations (the Figure 12 legend).
+type Scheme int
+
+const (
+	// BSL is the unmodified kernel under the default scheduler.
+	BSL Scheme = iota
+	// RD is redirection-based clustering (Listing 4).
+	RD
+	// CLU is agent-based clustering with the maximum allowable agents.
+	CLU
+	// CLUTOT is agent-based clustering with the optimal (swept) number
+	// of active agents.
+	CLUTOT
+	// CLUTOTBPS adds cache bypassing of streaming accesses to CLUTOT.
+	CLUTOTBPS
+	// PFHTOT is CTA-order reshaping plus prefetching (for applications
+	// without exploitable inter-CTA locality) under optimal throttling.
+	PFHTOT
+)
+
+// Schemes lists all schemes in presentation order.
+var Schemes = []Scheme{BSL, RD, CLU, CLUTOT, CLUTOTBPS, PFHTOT}
+
+// String returns the Figure 12 legend label.
+func (s Scheme) String() string {
+	switch s {
+	case BSL:
+		return "BSL"
+	case RD:
+		return "RD"
+	case CLU:
+		return "CLU"
+	case CLUTOT:
+		return "CLU+TOT"
+	case CLUTOTBPS:
+		return "CLU+TOT+BPS"
+	case PFHTOT:
+		return "PFH+TOT"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Cell is one scheme's outcome for one app on one architecture.
+type Cell struct {
+	Scheme  Scheme
+	Cycles  int64
+	Speedup float64 // vs BSL
+	L2Txn   uint64
+	L2Norm  float64 // vs BSL
+	L1Hit   float64
+	AchOcc  float64 // achieved occupancy (absolute)
+	OccNorm float64 // vs BSL
+	Agents  int     // active agents used (0 = n/a)
+}
+
+// AppResult holds all scheme cells for one app/arch pair.
+type AppResult struct {
+	App   *workloads.App
+	Arch  *arch.Arch
+	Cells map[Scheme]Cell
+}
+
+// Best returns the best clustering-family speedup (the paper reports
+// CLU+TOT+BPS-style bests per app).
+func (r *AppResult) Best() Cell {
+	best := r.Cells[BSL]
+	for _, s := range []Scheme{CLU, CLUTOT, CLUTOTBPS} {
+		if c, ok := r.Cells[s]; ok && c.Speedup > best.Speedup {
+			best = c
+		}
+	}
+	return best
+}
+
+func cellFrom(s Scheme, res *engine.Result, base *engine.Result, agents int) Cell {
+	c := Cell{
+		Scheme: s,
+		Cycles: res.Cycles,
+		L2Txn:  res.L2ReadTransactions(),
+		L1Hit:  res.L1.HitRate(),
+		AchOcc: res.AchievedOccupancy,
+		Agents: agents,
+	}
+	if base != nil && res.Cycles > 0 {
+		c.Speedup = float64(base.Cycles) / float64(res.Cycles)
+		if base.L2ReadTransactions() > 0 {
+			c.L2Norm = float64(res.L2ReadTransactions()) / float64(base.L2ReadTransactions())
+		}
+		if base.AchievedOccupancy > 0 {
+			c.OccNorm = res.AchievedOccupancy / base.AchievedOccupancy
+		}
+	}
+	return c
+}
+
+// throttleCandidates picks the agent counts the voting sweep tries.
+func throttleCandidates(max int) []int {
+	set := map[int]bool{}
+	var out []int
+	add := func(v int) {
+		if v >= 1 && v <= max && !set[v] {
+			set[v] = true
+			out = append(out, v)
+		}
+	}
+	add(1)
+	add(2)
+	add(3)
+	add(4)
+	add(max / 2)
+	add(max)
+	return out
+}
+
+// Options tunes an evaluation run.
+type Options struct {
+	Seed int64
+	// Quick skips the throttle sweep (CLUTOT = CLU) for fast smoke runs.
+	Quick bool
+}
+
+// EvaluateApp runs the full scheme matrix for one application on one
+// architecture.
+func EvaluateApp(ar *arch.Arch, app *workloads.App, opt Options) (*AppResult, error) {
+	cfg := engine.DefaultConfig(ar)
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	run := func(k kernel.Kernel) (*engine.Result, error) {
+		return engine.Run(cfg, k)
+	}
+
+	out := &AppResult{App: app, Arch: ar, Cells: map[Scheme]Cell{}}
+
+	base, err := run(app)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s/%s BSL: %w", app.Name(), ar.Name, err)
+	}
+	out.Cells[BSL] = cellFrom(BSL, base, base, 0)
+
+	// RD: redirection-based clustering along the app's partition order.
+	rd, err := core.Redirect(app, ar.SMs, app.Partition(), nil)
+	if err != nil {
+		return nil, err
+	}
+	rdRes, err := run(rd)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s/%s RD: %w", app.Name(), ar.Name, err)
+	}
+	out.Cells[RD] = cellFrom(RD, rdRes, base, 0)
+
+	// CLU: agent-based clustering, all allowable agents active.
+	clu, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
+	if err != nil {
+		return nil, err
+	}
+	cluRes, err := run(clu)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s/%s CLU: %w", app.Name(), ar.Name, err)
+	}
+	out.Cells[CLU] = cellFrom(CLU, cluRes, base, clu.MaxAgents())
+
+	// CLU+TOT: sweep the active-agent count (the dynamic voting scheme).
+	bestRes, bestAgents := cluRes, clu.MaxAgents()
+	if !opt.Quick {
+		for _, a := range throttleCandidates(clu.MaxAgents()) {
+			if a == clu.MaxAgents() {
+				continue // already measured as CLU
+			}
+			tk, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition(), ActiveAgents: a})
+			if err != nil {
+				return nil, err
+			}
+			r, err := run(tk)
+			if err != nil {
+				return nil, fmt.Errorf("eval %s/%s CLU+TOT(%d): %w", app.Name(), ar.Name, a, err)
+			}
+			if r.Cycles < bestRes.Cycles {
+				bestRes, bestAgents = r, a
+			}
+		}
+	}
+	out.Cells[CLUTOT] = cellFrom(CLUTOT, bestRes, base, bestAgents)
+
+	// CLU+TOT+BPS: bypass streaming accesses at the optimal throttle.
+	bps, err := core.NewAgent(app, core.AgentConfig{
+		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Bypass: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bpsRes, err := run(bps)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s/%s BPS: %w", app.Name(), ar.Name, err)
+	}
+	out.Cells[CLUTOTBPS] = cellFrom(CLUTOTBPS, bpsRes, base, bestAgents)
+
+	// PFH+TOT: reshaped order + prefetching at the optimal throttle.
+	pfh, err := core.NewAgent(app, core.AgentConfig{
+		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Prefetch: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pfhRes, err := run(pfh)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s/%s PFH: %w", app.Name(), ar.Name, err)
+	}
+	out.Cells[PFHTOT] = cellFrom(PFHTOT, pfhRes, base, bestAgents)
+
+	return out, nil
+}
+
+// Evaluate runs the scheme matrix for a set of apps, reporting progress.
+func Evaluate(ar *arch.Arch, apps []*workloads.App, opt Options, progress func(string)) ([]*AppResult, error) {
+	out := make([]*AppResult, 0, len(apps))
+	for _, app := range apps {
+		if progress != nil {
+			progress(fmt.Sprintf("%s on %s", app.Name(), ar.Name))
+		}
+		r, err := EvaluateApp(ar, app, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of xs (1.0 for empty input).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}

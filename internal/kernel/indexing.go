@@ -1,0 +1,122 @@
+package kernel
+
+import "fmt"
+
+// Indexing enumerates the four major CTA indexing methods for a 2D grid
+// (Figure 7). An indexing method defines the one-dimensional CTA order v
+// that the partitioner in internal/core chunks into clusters.
+type Indexing uint8
+
+const (
+	// RowMajor: v = by*nx + bx (the CUDA default). Chunking this order
+	// clusters row-adjacent CTAs, i.e. partitions along Y.
+	RowMajor Indexing = iota
+	// ColMajor: v = bx*ny + by. Chunking this order partitions along X.
+	ColMajor
+	// TileWise: the grid is covered by fixed-size tiles enumerated in
+	// row-major order, CTAs enumerated row-major within each tile;
+	// chunking partitions along both X and Y at the cost of a more
+	// expensive index computation (Section 5.2-(6)).
+	TileWise
+	// Arbitrary: a user-supplied permutation.
+	Arbitrary
+)
+
+// String returns the indexing-method name.
+func (ix Indexing) String() string {
+	switch ix {
+	case RowMajor:
+		return "row-major"
+	case ColMajor:
+		return "col-major"
+	case TileWise:
+		return "tile-wise"
+	case Arbitrary:
+		return "arbitrary"
+	default:
+		return fmt.Sprintf("Indexing(%d)", int(ix))
+	}
+}
+
+// TileDim is the edge length of the square tiles used by TileWise
+// indexing. The paper leaves the tile shape to the implementation; 4x4
+// keeps the reuse window close to the small L1 while still partitioning
+// along both dimensions.
+const TileDim = 4
+
+// LinearIndex maps the CTA coordinate (x, y) of a grid with extent
+// (nx, ny) to its position v in the given indexing order.
+func LinearIndex(ix Indexing, x, y, nx, ny int) int {
+	switch ix {
+	case RowMajor:
+		return y*nx + x
+	case ColMajor:
+		return x*ny + y
+	case TileWise:
+		tilesX := (nx + TileDim - 1) / TileDim
+		tx, ty := x/TileDim, y/TileDim
+		// Size of all complete tile rows above plus complete tiles to
+		// the left in this tile row.
+		base := 0
+		for t := 0; t < ty; t++ {
+			base += nx * tileRows(ny, t)
+		}
+		for t := 0; t < tx; t++ {
+			base += tileCols(nx, t) * tileRows(ny, ty)
+		}
+		_ = tilesX
+		ix_, iy := x%TileDim, y%TileDim
+		return base + iy*tileCols(nx, tx) + ix_
+	default:
+		panic("kernel: LinearIndex does not support arbitrary indexing; supply a permutation")
+	}
+}
+
+// CoordOf is the inverse of LinearIndex: it maps a position v back to
+// the CTA coordinate (x, y).
+func CoordOf(ix Indexing, v, nx, ny int) (x, y int) {
+	switch ix {
+	case RowMajor:
+		return v % nx, v / nx
+	case ColMajor:
+		return v / ny, v % ny
+	case TileWise:
+		// Walk tiles in order until the tile containing v is found; the
+		// grids in play are small enough that the O(tiles) walk is
+		// irrelevant, and it keeps the ragged-edge arithmetic obvious.
+		tilesX := (nx + TileDim - 1) / TileDim
+		tilesY := (ny + TileDim - 1) / TileDim
+		base := 0
+		for ty := 0; ty < tilesY; ty++ {
+			rows := tileRows(ny, ty)
+			for tx := 0; tx < tilesX; tx++ {
+				cols := tileCols(nx, tx)
+				n := rows * cols
+				if v < base+n {
+					off := v - base
+					return tx*TileDim + off%cols, ty*TileDim + off/cols
+				}
+				base += n
+			}
+		}
+		panic("kernel: CoordOf index out of range")
+	default:
+		panic("kernel: CoordOf does not support arbitrary indexing")
+	}
+}
+
+func tileCols(nx, tx int) int {
+	c := nx - tx*TileDim
+	if c > TileDim {
+		c = TileDim
+	}
+	return c
+}
+
+func tileRows(ny, ty int) int {
+	r := ny - ty*TileDim
+	if r > TileDim {
+		r = TileDim
+	}
+	return r
+}

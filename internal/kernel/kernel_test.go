@@ -1,0 +1,286 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDim3Count(t *testing.T) {
+	cases := []struct {
+		d    Dim3
+		want int
+	}{
+		{Dim1(7), 7},
+		{Dim2(3, 4), 12},
+		{Dim3{X: 2, Y: 3, Z: 4}, 24},
+		{Dim3{X: 5}, 5}, // zero dims count as 1
+		{Dim3{}, 1},
+	}
+	for _, c := range cases {
+		if got := c.d.Count(); got != c.want {
+			t.Errorf("%v.Count() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestOpConstructors(t *testing.T) {
+	if op := Compute(12); op.Kind != OpCompute || op.Cycles != 12 {
+		t.Errorf("Compute: %+v", op)
+	}
+	if op := Barrier(); op.Kind != OpBarrier {
+		t.Errorf("Barrier: %+v", op)
+	}
+	ld := Load(0x1000, 4, 32, 4)
+	if ld.Kind != OpMem || ld.Mem.Write || ld.Mem.Lanes != 32 {
+		t.Errorf("Load: %+v", ld)
+	}
+	st := Store(0x1000, 4, 32, 4)
+	if st.Kind != OpMem || !st.Mem.Write {
+		t.Errorf("Store: %+v", st)
+	}
+	g := Gather(8, 1, 2, 3)
+	if g.Kind != OpMem || g.Mem.Lanes != 3 || g.Mem.Addrs == nil {
+		t.Errorf("Gather: %+v", g)
+	}
+	at := AtomicAdd(0x2000, 4)
+	if at.Kind != OpAtomic || !at.Mem.Write || !at.Mem.Bypass {
+		t.Errorf("AtomicAdd: %+v", at)
+	}
+	if !ld.Bypassed().Mem.Bypass {
+		t.Error("Bypassed did not set the flag")
+	}
+	if !ld.Prefetched().Mem.Prefetch {
+		t.Error("Prefetched did not set the flag")
+	}
+	if !ld.StreamingHint().Mem.Streaming {
+		t.Error("StreamingHint did not set the flag")
+	}
+	// Modifiers must not mutate the original (value semantics).
+	if ld.Mem.Bypass || ld.Mem.Prefetch || ld.Mem.Streaming {
+		t.Error("modifier mutated the receiver")
+	}
+}
+
+func TestLaneAddrs(t *testing.T) {
+	m := MemOp{Base: 100, Stride: 8, Lanes: 4}
+	want := []uint64{100, 108, 116, 124}
+	got := m.LaneAddrs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LaneAddrs = %v, want %v", got, want)
+		}
+	}
+	// Explicit addresses win.
+	m = MemOp{Addrs: []uint64{9, 7}, Lanes: 2}
+	if got := m.LaneAddrs(); got[0] != 9 || got[1] != 7 {
+		t.Errorf("explicit LaneAddrs = %v", got)
+	}
+	// Zero lanes still produce one address.
+	m = MemOp{Base: 50}
+	if got := m.LaneAddrs(); len(got) != 1 || got[0] != 50 {
+		t.Errorf("zero-lane LaneAddrs = %v", got)
+	}
+}
+
+func TestTransactionsCoalesced(t *testing.T) {
+	// 32 lanes x 4B contiguous from a 128B boundary: one 128B segment.
+	m := MemOp{Base: 0x1000, Stride: 4, Lanes: 32, Size: 4}
+	if txs := m.Transactions(128); len(txs) != 1 || txs[0] != 0x1000 {
+		t.Errorf("coalesced: %v", txs)
+	}
+	// Same access at 32B granularity: four segments.
+	if txs := m.Transactions(32); len(txs) != 4 {
+		t.Errorf("32B segments: %v", txs)
+	}
+	// Misaligned by 4 bytes: spills into a second 128B line.
+	m.Base = 0x1000 + 4
+	if txs := m.Transactions(128); len(txs) != 2 {
+		t.Errorf("misaligned: %v", txs)
+	}
+}
+
+func TestTransactionsStrided(t *testing.T) {
+	// Row-stride access: 8 lanes, 1KB apart -> 8 distinct 128B lines.
+	m := MemOp{Base: 0, Stride: 1024, Lanes: 8, Size: 4}
+	if txs := m.Transactions(128); len(txs) != 8 {
+		t.Errorf("strided: got %d transactions", len(txs))
+	}
+	// Broadcast (stride 0): one line regardless of lanes.
+	m = MemOp{Base: 0x500, Stride: 0, Lanes: 32, Size: 4}
+	if txs := m.Transactions(128); len(txs) != 1 {
+		t.Errorf("broadcast: %v", txs)
+	}
+}
+
+func TestTransactionsSortedUniqueProperty(t *testing.T) {
+	f := func(base uint64, stride int16, lanes uint8, size uint8) bool {
+		m := MemOp{
+			Base:   base % (1 << 40),
+			Stride: int64(stride),
+			Lanes:  int(lanes%32) + 1,
+			Size:   int(size%16) + 1,
+		}
+		txs := m.Transactions(32)
+		if len(txs) == 0 {
+			return false
+		}
+		for i := 1; i < len(txs); i++ {
+			if txs[i] <= txs[i-1] {
+				return false // must be strictly increasing (sorted, unique)
+			}
+		}
+		for _, a := range txs {
+			if a%32 != 0 {
+				return false // must be segment-aligned
+			}
+		}
+		// Every lane's bytes must be covered by some transaction.
+		covered := func(addr uint64) bool {
+			seg := addr / 32 * 32
+			for _, a := range txs {
+				if a == seg {
+					return true
+				}
+			}
+			return false
+		}
+		for _, la := range m.LaneAddrs() {
+			if !covered(la) || !covered(la+uint64(m.Size)-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionsPanicsOnBadSegment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for segment size 0")
+		}
+	}()
+	MemOp{Base: 0, Lanes: 1, Size: 4}.Transactions(0)
+}
+
+func TestIndexingRoundTrip(t *testing.T) {
+	grids := []struct{ nx, ny int }{{1, 1}, {4, 4}, {5, 3}, {7, 7}, {9, 2}, {1, 8}, {13, 11}}
+	for _, ix := range []Indexing{RowMajor, ColMajor, TileWise} {
+		for _, g := range grids {
+			seen := make(map[int]bool)
+			for y := 0; y < g.ny; y++ {
+				for x := 0; x < g.nx; x++ {
+					v := LinearIndex(ix, x, y, g.nx, g.ny)
+					if v < 0 || v >= g.nx*g.ny {
+						t.Fatalf("%v %dx%d: v=%d out of range", ix, g.nx, g.ny, v)
+					}
+					if seen[v] {
+						t.Fatalf("%v %dx%d: duplicate v=%d", ix, g.nx, g.ny, v)
+					}
+					seen[v] = true
+					rx, ry := CoordOf(ix, v, g.nx, g.ny)
+					if rx != x || ry != y {
+						t.Fatalf("%v %dx%d: round trip (%d,%d) -> %d -> (%d,%d)",
+							ix, g.nx, g.ny, x, y, v, rx, ry)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexingKnownValues(t *testing.T) {
+	// Figure 7: 4x4 grid.
+	if v := LinearIndex(RowMajor, 1, 2, 4, 4); v != 9 {
+		t.Errorf("row-major (1,2) = %d, want 9", v)
+	}
+	if v := LinearIndex(ColMajor, 1, 2, 4, 4); v != 6 {
+		t.Errorf("col-major (1,2) = %d, want 6", v)
+	}
+	// Tile-wise 4x4 grid with TileDim=4 degenerates to row-major.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if LinearIndex(TileWise, x, y, 4, 4) != LinearIndex(RowMajor, x, y, 4, 4) {
+				t.Fatal("4x4 tile-wise should equal row-major")
+			}
+		}
+	}
+}
+
+func TestIndexingStringer(t *testing.T) {
+	for ix, want := range map[Indexing]string{
+		RowMajor: "row-major", ColMajor: "col-major",
+		TileWise: "tile-wise", Arbitrary: "arbitrary",
+	} {
+		if ix.String() != want {
+			t.Errorf("%d.String() = %s, want %s", ix, ix.String(), want)
+		}
+	}
+}
+
+func TestArbitraryIndexingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LinearIndex(Arbitrary) should panic")
+		}
+	}()
+	LinearIndex(Arbitrary, 0, 0, 4, 4)
+}
+
+func TestAddressSpace(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100)
+	b := as.Alloc(1)
+	c := as.Alloc(300)
+	if a%256 != 0 || b%256 != 0 || c%256 != 0 {
+		t.Errorf("allocations not 256B aligned: %x %x %x", a, b, c)
+	}
+	if b < a+100 {
+		t.Error("allocations overlap")
+	}
+	if c < b+1 {
+		t.Error("allocations overlap")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Alloc should panic")
+		}
+	}()
+	as.Alloc(-1)
+}
+
+func TestWarpCount(t *testing.T) {
+	cases := []struct {
+		block Dim3
+		want  int
+	}{
+		{Dim1(32), 1},
+		{Dim1(33), 2},
+		{Dim1(256), 8},
+		{Dim2(32, 32), 32},
+		{Dim2(8, 8), 2},
+	}
+	for _, c := range cases {
+		if got := WarpCount(c.block); got != c.want {
+			t.Errorf("WarpCount(%v) = %d, want %d", c.block, got, c.want)
+		}
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if CoordBX.String() != "blockIdx.x" || CoordBY.String() != "blockIdx.y" || CoordNone.String() != "-" {
+		t.Error("Coord.String broken")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpCompute: "compute", OpMem: "mem", OpBarrier: "barrier", OpAtomic: "atomic",
+	} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %s", k, k.String())
+		}
+	}
+}

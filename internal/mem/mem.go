@@ -1,0 +1,201 @@
+// Package mem models everything behind the SMs' L1 caches: the NoC that
+// connects SMs to the shared L2, the banked write-back L2 cache, and
+// off-chip DRAM. Its central observable is the L2 (read) transaction
+// count — the metric the paper uses as its primary cache-performance
+// indicator (Figure 13, Section 5.2-(5)).
+package mem
+
+import (
+	"ctacluster/internal/arch"
+	"ctacluster/internal/cache"
+)
+
+// Stats aggregates memory-system counters.
+type Stats struct {
+	ReadTransactions   uint64 // 32B read transactions arriving at L2
+	WriteTransactions  uint64 // 32B write transactions arriving at L2
+	AtomicTransactions uint64
+	DRAMReads          uint64 // L2 read misses serviced by DRAM
+	DRAMWrites         uint64 // writebacks reaching DRAM
+}
+
+// System is the shared memory hierarchy below L1.
+type System struct {
+	ar       *arch.Arch
+	l2       *cache.Cache
+	bankFree []int64 // next cycle each L2 bank can start a transaction
+	dramFree []int64 // next cycle each DRAM channel can start a transfer
+	ports    []port  // per-SM NoC injection ports
+	stats    Stats
+}
+
+// port tracks how many transactions an SM has injected in a cycle so the
+// NoC bandwidth limit (transactions/cycle/SM) can be enforced.
+type port struct {
+	cycle int64
+	used  int
+}
+
+// New builds the memory system for an architecture.
+func New(ar *arch.Arch) *System {
+	l2 := cache.New(cache.Config{
+		Size:   ar.L2Size,
+		Line:   ar.L2Line,
+		Assoc:  ar.L2Assoc,
+		Policy: cache.WriteBackAllocate,
+	})
+	channels := ar.DRAMChannels
+	if channels <= 0 {
+		channels = 8
+	}
+	return &System{
+		ar:       ar,
+		l2:       l2,
+		bankFree: make([]int64, ar.L2Banks),
+		dramFree: make([]int64, channels),
+		ports:    make([]port, ar.SMs),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// L2Stats returns the L2 cache counters.
+func (s *System) L2Stats() cache.Stats { return s.l2.Stats() }
+
+// ResetStats zeroes all counters without touching cache contents.
+func (s *System) ResetStats() {
+	s.stats = Stats{}
+	s.l2.ResetStats()
+}
+
+func (s *System) bank(addr uint64) int {
+	return int(addr/uint64(s.ar.L2Line)) % len(s.bankFree)
+}
+
+// dramAt reserves a DRAM channel slot for the 32B transfer of addr that
+// became ready at svc, returning when the transfer starts. Channel
+// occupancy is what throttles over-subscribed streaming kernels.
+func (s *System) dramAt(svc int64, addr uint64) int64 {
+	ch := int(addr/uint64(s.ar.L2Line)) % len(s.dramFree)
+	start := svc
+	if s.dramFree[ch] > start {
+		start = s.dramFree[ch]
+	}
+	interval := int64(s.ar.DRAMInterval)
+	if interval < 1 {
+		interval = 1
+	}
+	s.dramFree[ch] = start + interval
+	return start
+}
+
+// serviceAt computes when a transaction injected by smID at time now is
+// serviced by its L2 bank, advancing port and bank reservations.
+func (s *System) serviceAt(now int64, smID int, addr uint64) int64 {
+	// NoC injection port: NoCBandwidth transactions per cycle per SM.
+	inject := now
+	bw := s.ar.NoCBandwidth
+	if bw <= 0 {
+		bw = 1
+	}
+	if smID >= 0 && smID < len(s.ports) {
+		p := &s.ports[smID]
+		if p.cycle < inject {
+			p.cycle, p.used = inject, 0
+		}
+		for p.used >= bw {
+			p.cycle++
+			p.used = 0
+		}
+		inject = p.cycle
+		p.used++
+	}
+	b := s.bank(addr)
+	svc := inject
+	if s.bankFree[b] > svc {
+		svc = s.bankFree[b]
+	}
+	s.bankFree[b] = svc + 1 // one transaction per bank per cycle
+	return svc
+}
+
+// Read requests nbytes starting at base (an L1 miss fill or a bypassed
+// load) on behalf of smID at time now. The request is split into 32B L2
+// transactions; the returned time is when the last of them has returned
+// to the SM, measured from request issue (i.e. it already includes the
+// full load-to-use latency).
+func (s *System) Read(now int64, smID int, base uint64, nbytes int) int64 {
+	done := now
+	line := uint64(s.ar.L2Line)
+	end := base + uint64(nbytes)
+	for addr := base / line * line; addr < end; addr += line {
+		s.stats.ReadTransactions++
+		svc := s.serviceAt(now, smID, addr)
+		var t int64
+		if res := s.l2.Read(addr, 0); res == cache.Miss {
+			s.stats.DRAMReads++
+			s.l2.Fill(addr, 0)
+			t = s.dramAt(svc, addr) + int64(s.ar.DRAMLatency)
+		} else {
+			t = svc + int64(s.ar.L2Latency)
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// Write forwards a store of nbytes at base (L1 is write-evict, so every
+// store reaches L2). Stores are acknowledged at the L2, so the returned
+// completion is the L2 service time; the SM does not wait for DRAM.
+func (s *System) Write(now int64, smID int, base uint64, nbytes int) int64 {
+	done := now
+	line := uint64(s.ar.L2Line)
+	end := base + uint64(nbytes)
+	for addr := base / line * line; addr < end; addr += line {
+		s.stats.WriteTransactions++
+		svc := s.serviceAt(now, smID, addr)
+		if res := s.l2.Write(addr, 0); res == cache.Miss {
+			// Write-allocate fill from DRAM; the store itself completes
+			// once the L2 accepts it but the fill occupies a channel.
+			s.stats.DRAMReads++
+			s.l2.Fill(addr, 0)
+			s.dramAt(svc, addr)
+			_ = s.l2.Write(addr, 0) // dirty the allocated line
+		}
+		if t := svc + int64(s.ar.L2Latency)/2; t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// Atomic performs a global read-modify-write on one address. Atomics
+// serialise at their L2 bank and the issuing warp observes the full L2
+// round trip.
+func (s *System) Atomic(now int64, smID int, addr uint64) int64 {
+	s.stats.AtomicTransactions++
+	svc := s.serviceAt(now, smID, addr)
+	var done int64
+	if res := s.l2.Read(addr, 0); res == cache.Miss {
+		s.stats.DRAMReads++
+		s.l2.Fill(addr, 0)
+		done = s.dramAt(svc, addr) + int64(s.ar.DRAMLatency)
+	} else {
+		done = svc + int64(s.ar.L2Latency)
+	}
+	_ = s.l2.Write(addr, 0)
+	// Hold the bank a few extra cycles for the RMW.
+	b := s.bank(addr)
+	if s.bankFree[b] < svc+4 {
+		s.bankFree[b] = svc + 4
+	}
+	return done
+}
+
+// Drain flushes the L2, accounting dirty writebacks as DRAM writes.
+func (s *System) Drain() {
+	s.stats.DRAMWrites += s.l2.Flush()
+}

@@ -1,0 +1,326 @@
+// Package report renders the reproduction's tables and figure series as
+// aligned text tables (and CSV), one renderer per paper artifact:
+// Table 1, Table 2, Figure 2, Figure 3, Figure 12 and Figure 13.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/eval"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/locality"
+	"ctacluster/internal/workloads"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+// Table1 renders the experiment-platform table (paper Table 1).
+func Table1(platforms []*arch.Arch) *Table {
+	t := &Table{
+		Title: "Table 1: Experiment Platforms",
+		Header: []string{"GPU", "Architecture", "CC", "SMs", "Warp slots", "CTA slots",
+			"L1(KB)", "L1 line", "L2(KB)", "L2 line", "Regs(K)", "SMem(KB)"},
+	}
+	for _, a := range platforms {
+		t.Add(a.Name, a.Gen.String(), a.CC,
+			fmt.Sprint(a.SMs), fmt.Sprint(a.WarpSlots), fmt.Sprint(a.CTASlots),
+			fmt.Sprint(a.L1Size/arch.KB), fmt.Sprintf("%dB", a.L1Line),
+			fmt.Sprint(a.L2Size/arch.KB), fmt.Sprintf("%dB", a.L2Line),
+			fmt.Sprint(a.Registers/1024), fmt.Sprint(a.SharedMem/arch.KB))
+	}
+	return t
+}
+
+// Table2 renders the benchmark-characteristics table (paper Table 2).
+// The CTAs and Opt Agents columns are per generation (F/K/M/P).
+func Table2(apps []*workloads.App) *Table {
+	t := &Table{
+		Title: "Table 2: Benchmark Characteristics",
+		Header: []string{"abbr.", "Application", "Category", "WP", "CTAs(F/K/M/P)",
+			"Registers(F/K/M/P)", "SMem", "Partition", "Opt Agents(F/K/M/P)"},
+	}
+	gens := arch.All()
+	for _, app := range apps {
+		var ctas, regs, opts []string
+		for _, ar := range gens {
+			occ := ar.OccupancyFor(app.WarpsPerCTA(), app.RegsPerThread(ar.Gen), app.SharedMemPerCTA())
+			ctas = append(ctas, fmt.Sprint(occ.CTAsPerSM))
+			regs = append(regs, fmt.Sprint(app.RegsPerThread(ar.Gen)))
+			opts = append(opts, fmt.Sprint(app.OptAgents(ar.Gen)))
+		}
+		cat := app.Category().String()
+		if app.WriteRelated() && app.Category() == locality.Data {
+			cat += "&write"
+		}
+		t.Add(app.Name(), app.LongName(), cat,
+			fmt.Sprint(app.WarpsPerCTA()),
+			strings.Join(ctas, "/"), strings.Join(regs, "/"),
+			fmt.Sprintf("%dB", app.SharedMemPerCTA()),
+			locality.DirectionLabel(app.Partition()),
+			strings.Join(opts, "/"))
+	}
+	return t
+}
+
+// Figure2 renders one microbenchmark scenario: the access cycles of the
+// CTAs scheduled on the SM holding CTA-0, with the profiler counters the
+// paper annotates (L1 read transactions and L1->L2 read transactions).
+func Figure2(ar *arch.Arch, scenario string, res *engine.Result, maxPoints int) *Table {
+	points, l1Reads, l1Misses := workloads.Figure2Series(res)
+	t := &Table{
+		Title: fmt.Sprintf("Figure 2 (%s, %s): L1 Read Trans=%d, L1-L2 Read Trans=%d, L1 Latency=~%d cycles, L2 Latency=~%d cycles",
+			ar.Name, scenario, l1Reads, l1Misses*uint64(ar.L2TransactionsPerL1Miss()),
+			ar.L1Latency, ar.L2Latency),
+		Header: []string{"CTA id on SM_0", "access cycles"},
+	}
+	step := 1
+	if maxPoints > 0 && len(points) > maxPoints {
+		step = (len(points) + maxPoints - 1) / maxPoints
+	}
+	for i := 0; i < len(points); i += step {
+		p := points[i]
+		t.Add(fmt.Sprint(p.CTA), fmt.Sprintf("%.0f", p.Cycles))
+	}
+	return t
+}
+
+// Figure3 renders the inter-/intra-CTA reuse quantification.
+func Figure3(apps []*workloads.App, lineBytes int) *Table {
+	t := &Table{
+		Title:  "Figure 3: Percentage of data with inter-CTA and intra-CTA locality",
+		Header: []string{"App", "Inter_CTA", "Intra_CTA", "Reuse fraction", "Category"},
+	}
+	var inter []float64
+	for _, app := range apps {
+		q := locality.Quantify(app, lineBytes)
+		t.Add(app.Name(),
+			fmt.Sprintf("%.0f%%", 100*q.InterPct()),
+			fmt.Sprintf("%.0f%%", 100*q.IntraPct()),
+			fmt.Sprintf("%.0f%%", 100*q.ReuseFraction()),
+			app.Category().String())
+		inter = append(inter, q.InterPct())
+	}
+	avg := 0.0
+	for _, v := range inter {
+		avg += v
+	}
+	if len(inter) > 0 {
+		avg /= float64(len(inter))
+	}
+	t.Add("AVG", fmt.Sprintf("%.0f%%", 100*avg), "", "", "")
+	return t
+}
+
+// categoryGroups returns the three Figure 12/13 panel groupings.
+func categoryGroups() []struct {
+	Name string
+	Cats []locality.Category
+} {
+	return []struct {
+		Name string
+		Cats []locality.Category
+	}{
+		{"algorithm-related", []locality.Category{locality.Algorithm}},
+		{"cache-line-related", []locality.Category{locality.CacheLine}},
+		{"data/write/streaming", []locality.Category{locality.Data, locality.Write, locality.Streaming}},
+	}
+}
+
+func inCats(c locality.Category, cats []locality.Category) bool {
+	for _, x := range cats {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure12 renders the speedup panels for one architecture: per app, the
+// normalized speedup of each scheme plus achieved occupancy, with the
+// per-panel geometric means the paper annotates.
+func Figure12(ar *arch.Arch, results []*eval.AppResult) []*Table {
+	var tables []*Table
+	for _, grp := range categoryGroups() {
+		t := &Table{
+			Title: fmt.Sprintf("Figure 12 (%s, %s): normalized speedup", ar.Name, grp.Name),
+			Header: []string{"App", "BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT",
+				"AC_OCP(best)", "opt agents"},
+		}
+		per := map[eval.Scheme][]float64{}
+		n := 0
+		for _, r := range results {
+			if !inCats(r.App.Category(), grp.Cats) {
+				continue
+			}
+			n++
+			row := []string{r.App.Name()}
+			for _, s := range eval.Schemes {
+				c := r.Cells[s]
+				row = append(row, fmt.Sprintf("%.2f", c.Speedup))
+				per[s] = append(per[s], c.Speedup)
+			}
+			best := r.Best()
+			row = append(row, fmt.Sprintf("%.2f", best.OccNorm), fmt.Sprint(r.Cells[eval.CLUTOT].Agents))
+			t.Rows = append(t.Rows, row)
+		}
+		if n == 0 {
+			continue
+		}
+		gm := []string{"G-M"}
+		for _, s := range eval.Schemes {
+			gm = append(gm, fmt.Sprintf("%.2f", eval.GeoMean(per[s])))
+		}
+		gm = append(gm, "", "")
+		t.Rows = append(t.Rows, gm)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Figure13 renders the cache panels for one architecture: normalized L2
+// read transactions per scheme plus the best scheme's L1 hit rate.
+func Figure13(ar *arch.Arch, results []*eval.AppResult) []*Table {
+	var tables []*Table
+	for _, grp := range categoryGroups() {
+		t := &Table{
+			Title: fmt.Sprintf("Figure 13 (%s, %s): normalized L2 transactions", ar.Name, grp.Name),
+			Header: []string{"App", "BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT",
+				"HT_RTE(bsl)", "HT_RTE(best)"},
+		}
+		per := map[eval.Scheme][]float64{}
+		n := 0
+		for _, r := range results {
+			if !inCats(r.App.Category(), grp.Cats) {
+				continue
+			}
+			n++
+			row := []string{r.App.Name()}
+			for _, s := range eval.Schemes {
+				c := r.Cells[s]
+				row = append(row, fmt.Sprintf("%.2f", c.L2Norm))
+				per[s] = append(per[s], c.L2Norm)
+			}
+			row = append(row,
+				fmt.Sprintf("%.2f", r.Cells[eval.BSL].L1Hit),
+				fmt.Sprintf("%.2f", r.Best().L1Hit))
+			t.Rows = append(t.Rows, row)
+		}
+		if n == 0 {
+			continue
+		}
+		gm := []string{"G-M"}
+		for _, s := range eval.Schemes {
+			gm = append(gm, fmt.Sprintf("%.2f", eval.GeoMean(per[s])))
+		}
+		gm = append(gm, "", "")
+		t.Rows = append(t.Rows, gm)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Sparkline renders a compact unicode plot of a series (used by the
+// microbenchmark CLI to echo the Figure 2 shape).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	if width <= 0 || width > len(values) {
+		width = len(values)
+	}
+	step := float64(len(values)) / float64(width)
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		v := values[int(float64(i)*step)]
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// PartitionLabel re-exports the Table 2 label for an indexing (keeps cmd
+// packages from importing locality directly just for this).
+func PartitionLabel(ix kernel.Indexing) string { return locality.DirectionLabel(ix) }

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+)
+
+// TestFigure2Temporal asserts the Section 3.1-(1) result on every
+// platform: CTAs in the first turnaround observe long (miss /
+// hit-reserved) latencies; all subsequent turnarounds hit in L1 at
+// roughly the L1 latency — temporal inter-CTA locality on L1.
+func TestFigure2Temporal(t *testing.T) {
+	for _, ar := range arch.All() {
+		res, err := engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, false))
+		if err != nil {
+			t.Fatalf("%s: %v", ar.Name, err)
+		}
+		points, l1Reads, l1Misses := Figure2Series(res)
+		if len(points) == 0 {
+			t.Fatalf("%s: no CTAs on SM_0", ar.Name)
+		}
+		first := ar.CTASlots // first turnaround on the observed SM
+		if len(points) <= first {
+			t.Fatalf("%s: only %d CTAs on SM_0", ar.Name, len(points))
+		}
+		// First turnaround: miss or hit-reserved, far above L1 latency.
+		// (On the sectored caches the second sector's fill hits in L2,
+		// so allow a little slack below the nominal L2 latency.)
+		for i := 0; i < first; i++ {
+			if points[i].Cycles < 0.8*float64(ar.L2Latency) {
+				t.Errorf("%s: first-turnaround CTA %d saw only %.0f cycles",
+					ar.Name, points[i].CTA, points[i].Cycles)
+			}
+		}
+		// Remaining turnarounds: L1 hits.
+		for i := first; i < len(points); i++ {
+			if points[i].Cycles > float64(ar.L1Latency)+32 {
+				t.Errorf("%s: CTA %d in a later turnaround saw %.0f cycles, want ~L1 (%d)",
+					ar.Name, points[i].CTA, points[i].Cycles, ar.L1Latency)
+			}
+		}
+		// Profiler counters: one load per CTA on the SM; exactly one
+		// miss per L1 sector (the Section 3.1-(1) observation — the
+		// sectored Maxwell/Pascal caches fill each sector once).
+		sectors := uint64(1)
+		if ar.L1Sectored {
+			sectors = 2
+		}
+		if l1Reads == 0 || l1Misses != sectors {
+			t.Errorf("%s: L1 reads=%d misses=%d, want reads>0 and %d misses",
+				ar.Name, l1Reads, l1Misses, sectors)
+		}
+	}
+}
+
+// TestFigure2Spatial asserts the staggered scenario (Section 3.1-(2)):
+// with accesses dis-aligned, only the first CTA misses; every other CTA
+// of the same turnaround finds the data already in L1 — spatial
+// inter-CTA locality.
+func TestFigure2Spatial(t *testing.T) {
+	for _, ar := range arch.All() {
+		res, err := engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, true))
+		if err != nil {
+			t.Fatalf("%s: %v", ar.Name, err)
+		}
+		points, _, _ := Figure2Series(res)
+		if points[0].Cycles < float64(ar.L2Latency) {
+			t.Errorf("%s: the very first CTA should miss (got %.0f cycles)",
+				ar.Name, points[0].Cycles)
+		}
+		// One cold access per L1 sector is expected; everything else
+		// must be an L1 hit.
+		slowBudget := 0
+		if ar.L1Sectored {
+			slowBudget = 1
+		}
+		slow := 0
+		for _, p := range points[1:] {
+			if p.Cycles > float64(ar.L1Latency)+32 {
+				slow++
+			}
+		}
+		if slow > slowBudget {
+			t.Errorf("%s: %d staggered CTAs beyond the first saw non-L1 latency (budget %d)",
+				ar.Name, slow, slowBudget)
+		}
+	}
+}
+
+// TestMicrobenchFirstCTALatencyMatchesDRAM ties the measured cold-access
+// latency to the calibrated DRAM latency (the Figure 2 annotations).
+func TestMicrobenchFirstCTALatencyMatchesDRAM(t *testing.T) {
+	for _, ar := range arch.All() {
+		res, err := engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		points, _, _ := Figure2Series(res)
+		got := points[0].Cycles
+		if got < float64(ar.DRAMLatency) || got > float64(ar.DRAMLatency)+64 {
+			t.Errorf("%s: cold latency %.0f, want ~%d", ar.Name, got, ar.DRAMLatency)
+		}
+	}
+}
+
+// TestRandomSchedulerPattern reproduces the GTX750Ti observation: under
+// the random policy the first-wave CTAs on SM_0 are not the RR set.
+func TestRandomSchedulerPattern(t *testing.T) {
+	ar := arch.GTX750Ti()
+	res, err := engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, _, _ := Figure2Series(res)
+	rrLike := true
+	for i := 0; i < ar.CTASlots && i < len(points); i++ {
+		if points[i].CTA != i*ar.SMs {
+			rrLike = false
+			break
+		}
+	}
+	if rrLike {
+		t.Error("GTX750Ti first wave looks strictly RR; the random pattern should break it")
+	}
+}
+
+// TestRunMicrobench covers the convenience wrapper.
+func TestRunMicrobench(t *testing.T) {
+	def, stag, err := RunMicrobench(arch.GTX980())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Cycles == 0 || stag.Cycles <= def.Cycles {
+		t.Error("staggered run should take longer than the default run")
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+)
+
+// table2CTAs is the paper's Table 2 "CTAs" column (default CTAs per SM
+// in baseline) for Fermi/Kepler/Maxwell/Pascal. Our occupancy model
+// recomputes these from warps, registers and shared memory; the CUDA
+// occupancy rules have allocation-granularity details we do not model,
+// so a small tolerance is allowed.
+var table2CTAs = map[string][4]int{
+	"KMN": {6, 8, 8, 8},
+	"MM":  {1, 2, 2, 2},
+	"NN":  {8, 16, 32, 32},
+	"IMD": {8, 16, 18, 18},
+	"BKP": {6, 8, 8, 8},
+	"DCT": {8, 16, 32, 32},
+	"SGM": {7, 9, 12, 8},
+	"HS":  {3, 5, 6, 6},
+	"SYK": {5, 8, 8, 8},
+	"S2K": {6, 6, 8, 8},
+	"ATX": {6, 8, 8, 8},
+	"MVT": {6, 8, 8, 8},
+	"NBO": {2, 4, 6, 6},
+	"3CV": {6, 8, 8, 8},
+	"BC":  {6, 8, 8, 8},
+	"HST": {6, 8, 8, 8},
+	"BTR": {5, 8, 8, 8},
+	"NW":  {8, 16, 32, 32},
+	"BFS": {6, 8, 8, 8},
+	"MON": {4, 4, 8, 8},
+	"DXT": {8, 8, 10, 10},
+	"SAD": {8, 16, 20, 20},
+	"BS":  {8, 16, 16, 16},
+}
+
+// knownOccupancyDeviations lists app/platform pairs where the real CUDA
+// occupancy is limited by allocation-granularity or launch-bounds
+// effects our simple model does not capture.
+var knownOccupancyDeviations = map[string]bool{
+	"MON/TeslaK40": true, // paper: 4; simple rules give 8 (warp slots)
+	"SAD/GTX1080":  true, // paper: 20; register granularity effects
+}
+
+func TestOccupancyMatchesTable2(t *testing.T) {
+	const tolerance = 3
+	gens := arch.All()
+	for _, app := range Table2() {
+		want, ok := table2CTAs[app.Name()]
+		if !ok {
+			t.Fatalf("missing Table 2 row for %s", app.Name())
+		}
+		for gi, ar := range gens {
+			if knownOccupancyDeviations[app.Name()+"/"+ar.Name] {
+				continue
+			}
+			occ := ar.OccupancyFor(app.WarpsPerCTA(), app.RegsPerThread(ar.Gen), app.SharedMemPerCTA())
+			diff := occ.CTAsPerSM - want[gi]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > tolerance {
+				t.Errorf("%s on %s: %d CTAs/SM, Table 2 says %d (limited by %s)",
+					app.Name(), ar.Name, occ.CTAsPerSM, want[gi], occ.LimitedBy)
+			}
+		}
+	}
+}
+
+// TestOccupancyExactForHeadlineApps pins the rows where the simple
+// occupancy rules reproduce Table 2 exactly.
+func TestOccupancyExactForHeadlineApps(t *testing.T) {
+	gens := arch.All()
+	for _, name := range []string{"KMN", "MM", "NN", "ATX", "MVT", "BC", "HST", "BFS"} {
+		app, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := table2CTAs[name]
+		for gi, ar := range gens {
+			occ := ar.OccupancyFor(app.WarpsPerCTA(), app.RegsPerThread(ar.Gen), app.SharedMemPerCTA())
+			if occ.CTAsPerSM != want[gi] {
+				t.Errorf("%s on %s: %d CTAs/SM, want exactly %d",
+					name, ar.Name, occ.CTAsPerSM, want[gi])
+			}
+		}
+	}
+}
