@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race fuzz bench vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The race gate the CI enforces: vet plus the full suite under the race
+# detector. The expensive determinism sweeps shrink themselves to a
+# representative app subset when they detect race instrumentation (see
+# internal/eval/race_test.go), so this stays tractable.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short fuzz smoke of the partition bijection; CI runs this bounded,
+# `make fuzz FUZZTIME=10m` digs deeper locally.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -181,6 +181,31 @@ func BenchmarkFigure13Kepler(b *testing.B)  { benchFigure13(b, arch.TeslaK40()) 
 func BenchmarkFigure13Maxwell(b *testing.B) { benchFigure13(b, arch.GTX980()) }
 func BenchmarkFigure13Pascal(b *testing.B)  { benchFigure13(b, arch.GTX1080()) }
 
+// --- Parallel evaluation sweep -------------------------------------------
+//
+// The same Figure-12 sweep (23 apps x 6 schemes with the throttle
+// sweep) through eval's worker pool at increasing widths. The parallel
+// runner guarantees byte-identical results to the serial path (see
+// internal/eval/determinism_test.go), so the only question these
+// benchmarks answer is wall-clock: on an N-core machine the sweep
+// should approach NxSerial until the longest single app dominates.
+
+func benchEvalSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	ar := arch.TeslaK40()
+	apps := workloads.Table2()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(ar, apps, eval.Options{Parallelism: parallelism}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSweepSerial(b *testing.B)    { benchEvalSweep(b, 1) }
+func BenchmarkEvalSweepParallel2(b *testing.B) { benchEvalSweep(b, 2) }
+func BenchmarkEvalSweepParallel4(b *testing.B) { benchEvalSweep(b, 4) }
+func BenchmarkEvalSweepParallel8(b *testing.B) { benchEvalSweep(b, 8) }
+
 // --- Ablations (Section 5.2 design-choice discussions) -------------------
 
 // BenchmarkAblationTileWiseMM reproduces observation (6): tile-wise

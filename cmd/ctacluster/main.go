@@ -7,7 +7,11 @@
 // Usage:
 //
 //	ctacluster -app MM -arch TeslaK40
+//	ctacluster -all -parallel 8
 //	ctacluster -list
+//
+// Unknown -app or -arch names exit non-zero with the known names on
+// stderr. -parallel fans the -all categorization out over workers.
 package main
 
 import (
@@ -15,7 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"ctacluster/internal/arch"
+	"ctacluster/internal/cli"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/eval"
 	"ctacluster/internal/locality"
@@ -29,14 +33,19 @@ func main() {
 	archName := flag.String("arch", "TeslaK40", "target platform")
 	list := flag.Bool("list", false, "list available applications")
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
+	parallel := flag.Int("parallel", 0, "analyses in flight for -all (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *all {
-		ar, err := arch.ByName(*archName)
+		ar, err := cli.Platform(*archName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc, err := eval.EvaluateFramework(ar, workloads.Table2())
+		parallelism, err := cli.Parallelism(*parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,11 +76,11 @@ func main() {
 		log.Fatal("missing -app (use -list to see the options)")
 	}
 
-	ar, err := arch.ByName(*archName)
+	ar, err := cli.Platform(*archName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	app, err := workloads.New(*appName)
+	app, err := cli.App(*appName)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,11 +16,10 @@ import (
 	"fmt"
 	"log"
 
-	"ctacluster/internal/arch"
+	"ctacluster/internal/cli"
 	"ctacluster/internal/core"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/kernel"
-	"ctacluster/internal/workloads"
 )
 
 func main() {
@@ -33,14 +32,11 @@ func main() {
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
 	flag.Parse()
 
-	if *appName == "" {
-		log.Fatal("missing -app")
-	}
-	ar, err := arch.ByName(*archName)
+	ar, err := cli.Platform(*archName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	app, err := workloads.New(*appName)
+	app, err := cli.App(*appName)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,11 @@
 //	evaluate -table1 -table2     # just the tables
 //	evaluate -quick              # skip the throttle sweep
 //	evaluate -csv DIR            # additionally write CSV files to DIR
+//	evaluate -parallel 8         # fan the sweep out over 8 workers
+//
+// Unknown -arch or -apps names are an error (non-zero exit), never a
+// silent skip. -parallel 0 (the default) uses one worker per CPU;
+// results are byte-identical for every parallelism setting.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"ctacluster/internal/arch"
+	"ctacluster/internal/cli"
 	"ctacluster/internal/eval"
 	"ctacluster/internal/report"
 	"ctacluster/internal/workloads"
@@ -35,6 +41,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "print Table 2 (benchmarks) and exit")
 	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	parallel := flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
 
@@ -49,24 +56,17 @@ func main() {
 		return
 	}
 
-	platforms := arch.All()
-	if *archName != "" {
-		a, err := arch.ByName(*archName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		platforms = []*arch.Arch{a}
+	platforms, err := cli.Platforms(*archName)
+	if err != nil {
+		log.Fatal(err)
 	}
-	apps := workloads.Table2()
-	if *appsFlag != "" {
-		apps = apps[:0]
-		for _, n := range strings.Split(*appsFlag, ",") {
-			a, err := workloads.New(strings.TrimSpace(n))
-			if err != nil {
-				log.Fatal(err)
-			}
-			apps = append(apps, a)
-		}
+	apps, err := cli.Apps(*appsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelism, err := cli.Parallelism(*parallel)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	progress := func(string) {}
@@ -74,11 +74,13 @@ func main() {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
 	}
 
-	for _, ar := range platforms {
-		results, err := eval.Evaluate(ar, apps, eval.Options{Quick: *quick}, progress)
-		if err != nil {
-			log.Fatal(err)
-		}
+	opt := eval.Options{Quick: *quick, Parallelism: parallelism}
+	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range sweep {
+		ar, results := pr.Arch, pr.Results
 		fmt.Printf("==================== %s (%s) ====================\n\n", ar.Name, ar.Gen)
 		tables := append(report.Figure12(ar, results), report.Figure13(ar, results)...)
 		for _, t := range tables {

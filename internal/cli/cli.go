@@ -1,0 +1,96 @@
+// Package cli resolves the flag arguments shared by the command-line
+// tools (cmd/evaluate, cmd/ctacluster, cmd/ctatrace): platform and
+// application names and the evaluation parallelism. Centralizing the
+// resolution guarantees every tool fails the same way — a clear message
+// on stderr and a non-zero exit — on an unknown name instead of
+// silently skipping it, and makes the parsing unit-testable.
+package cli
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/workloads"
+)
+
+// Platforms resolves the -arch flag for tools that sweep platforms: an
+// empty name selects all four Table 1 evaluation platforms; anything
+// else must name exactly one known platform.
+func Platforms(name string) ([]*arch.Arch, error) {
+	if name == "" {
+		return arch.All(), nil
+	}
+	a, err := Platform(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*arch.Arch{a}, nil
+}
+
+// Platform resolves a single-platform -arch flag. The empty string is
+// rejected: tools with a single target default the flag value instead.
+func Platform(name string) (*arch.Arch, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing -arch (one of %s)", strings.Join(platformNames(), ", "))
+	}
+	a, err := arch.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown platform %q (known: %s)", name, strings.Join(platformNames(), ", "))
+	}
+	return a, nil
+}
+
+// Apps resolves the -apps flag: an empty value selects the full Table 2
+// set; otherwise every comma-separated element must name a registered
+// application. Empty elements ("MM,,NN") are an error rather than being
+// skipped.
+func Apps(csv string) ([]*workloads.App, error) {
+	if csv == "" {
+		return workloads.Table2(), nil
+	}
+	var apps []*workloads.App
+	for _, n := range strings.Split(csv, ",") {
+		a, err := App(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, a)
+	}
+	return apps, nil
+}
+
+// App resolves a single application name.
+func App(name string) (*workloads.App, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing application name (known: %s)", strings.Join(workloads.Names(), ", "))
+	}
+	a, err := workloads.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
+	}
+	return a, nil
+}
+
+// Parallelism resolves the -parallel flag: 0 means one worker per
+// available CPU (GOMAXPROCS); explicit values pass through; negative
+// values are an error.
+func Parallelism(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-parallel must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}
+
+func platformNames() []string {
+	var out []string
+	for _, a := range arch.All() {
+		out = append(out, a.Name)
+	}
+	out = append(out, arch.GTX750Ti().Name)
+	return out
+}

@@ -1,0 +1,159 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatforms(t *testing.T) {
+	tests := []struct {
+		name    string
+		arg     string
+		want    int    // number of platforms, 0 = expect error
+		errPart string // substring the error must carry
+	}{
+		{name: "empty selects all four", arg: "", want: 4},
+		{name: "single known platform", arg: "TeslaK40", want: 1},
+		{name: "observation platform", arg: "GTX750Ti", want: 1},
+		{name: "unknown platform", arg: "H100", errPart: `unknown platform "H100"`},
+		{name: "case sensitive", arg: "teslak40", errPart: "unknown platform"},
+		{name: "whitespace is not trimmed", arg: " TeslaK40", errPart: "unknown platform"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Platforms(tt.arg)
+			if tt.errPart != "" {
+				if err == nil {
+					t.Fatalf("Platforms(%q) = %d platforms, want error", tt.arg, len(got))
+				}
+				if !strings.Contains(err.Error(), tt.errPart) {
+					t.Fatalf("Platforms(%q) error = %q, want substring %q", tt.arg, err, tt.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Platforms(%q): %v", tt.arg, err)
+			}
+			if len(got) != tt.want {
+				t.Fatalf("Platforms(%q) = %d platforms, want %d", tt.arg, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestPlatform(t *testing.T) {
+	if _, err := Platform(""); err == nil || !strings.Contains(err.Error(), "missing -arch") {
+		t.Fatalf("Platform(\"\") error = %v, want missing -arch", err)
+	}
+	a, err := Platform("GTX1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "GTX1080" {
+		t.Fatalf("Platform(GTX1080).Name = %s", a.Name)
+	}
+	// The error must name the known platforms so the user can recover.
+	_, err = Platform("nope")
+	if err == nil || !strings.Contains(err.Error(), "TeslaK40") {
+		t.Fatalf("unknown-platform error should list known names, got %v", err)
+	}
+}
+
+func TestApps(t *testing.T) {
+	tests := []struct {
+		name    string
+		arg     string
+		want    []string // expected app names in order, nil = expect error
+		errPart string
+	}{
+		{name: "empty selects Table 2", arg: "", want: nil}, // checked separately below
+		{name: "single app", arg: "MM", want: []string{"MM"}},
+		{name: "subset keeps order", arg: "KMN,MM,NN", want: []string{"KMN", "MM", "NN"}},
+		{name: "spaces are trimmed", arg: " MM , KMN ", want: []string{"MM", "KMN"}},
+		{name: "unknown app", arg: "MM,NOPE", errPart: `unknown application "NOPE"`},
+		{name: "empty element is an error not a skip", arg: "MM,,KMN", errPart: "missing application name"},
+		{name: "trailing comma is an error", arg: "MM,", errPart: "missing application name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Apps(tt.arg)
+			if tt.errPart != "" {
+				if err == nil {
+					t.Fatalf("Apps(%q) succeeded, want error", tt.arg)
+				}
+				if !strings.Contains(err.Error(), tt.errPart) {
+					t.Fatalf("Apps(%q) error = %q, want substring %q", tt.arg, err, tt.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Apps(%q): %v", tt.arg, err)
+			}
+			if tt.arg == "" {
+				if len(got) != 23 {
+					t.Fatalf("Apps(\"\") = %d apps, want the 23 of Table 2", len(got))
+				}
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("Apps(%q) = %d apps, want %d", tt.arg, len(got), len(tt.want))
+			}
+			for i, a := range got {
+				if a.Name() != tt.want[i] {
+					t.Fatalf("Apps(%q)[%d] = %s, want %s", tt.arg, i, a.Name(), tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestApp(t *testing.T) {
+	if _, err := App(""); err == nil || !strings.Contains(err.Error(), "missing application name") {
+		t.Fatalf("App(\"\") error = %v", err)
+	}
+	if _, err := App("BOGUS"); err == nil || !strings.Contains(err.Error(), `unknown application "BOGUS"`) {
+		t.Fatalf("App(BOGUS) error = %v", err)
+	}
+	a, err := App("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "BFS" {
+		t.Fatalf("App(BFS).Name = %s", a.Name())
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	tests := []struct {
+		arg     int
+		want    int // -1 = any positive value (GOMAXPROCS)
+		wantErr bool
+	}{
+		{arg: -1, wantErr: true},
+		{arg: -8, wantErr: true},
+		{arg: 0, want: -1},
+		{arg: 1, want: 1},
+		{arg: 8, want: 8},
+	}
+	for _, tt := range tests {
+		got, err := Parallelism(tt.arg)
+		if tt.wantErr {
+			if err == nil {
+				t.Fatalf("Parallelism(%d) = %d, want error", tt.arg, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Parallelism(%d): %v", tt.arg, err)
+		}
+		if tt.want == -1 {
+			if got < 1 {
+				t.Fatalf("Parallelism(0) = %d, want >= 1", got)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Fatalf("Parallelism(%d) = %d, want %d", tt.arg, got, tt.want)
+		}
+	}
+}

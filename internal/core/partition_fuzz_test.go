@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"ctacluster/internal/kernel"
+)
+
+// FuzzPartitionRoundTrip fuzzes grid dimensions and cluster counts and
+// asserts the CTA->cluster mapping of Section 4.2.1 is a bijection:
+// Map and Invert are inverses, every CTA lands in exactly one (cluster,
+// position) slot, no index escapes the grid, and the cluster sizes obey
+// the balanced-chunking equations (Eqs. 4-5).
+func FuzzPartitionRoundTrip(f *testing.F) {
+	// Seeds: the paper's shapes (square grids on 15/16/20-SM parts),
+	// degenerate single-CTA and single-cluster cases, |V| < M, |V| = M,
+	// and ragged remainders.
+	f.Add(12, 12, 15)
+	f.Add(16, 16, 16)
+	f.Add(240, 1, 15)
+	f.Add(1, 1, 1)
+	f.Add(7, 1, 20)   // fewer CTAs than clusters
+	f.Add(20, 1, 20)  // exactly one CTA per cluster
+	f.Add(33, 3, 16)  // ragged remainder
+	f.Add(512, 1, 5)
+
+	f.Fuzz(func(t *testing.T, gx, gy, m int) {
+		// Bound the search space to realistic launches; the bijection
+		// argument is size-independent, so small shapes cover it.
+		if gx < 1 || gy < 1 || m < 1 || gx*gy > 1<<14 || m > 1<<10 {
+			t.Skip()
+		}
+		grid := kernel.Dim2(gx, gy)
+		v := grid.Count()
+
+		p, err := NewPartition(v, m)
+		if err != nil {
+			t.Fatalf("NewPartition(%d, %d): %v", v, m, err)
+		}
+
+		// Cluster sizes must sum to |V| and differ by at most one
+		// (balanced chunking).
+		minSize, maxSize, total := v+1, -1, 0
+		for i := 0; i < m; i++ {
+			size := p.ClusterSize(i)
+			if size < 0 {
+				t.Fatalf("ClusterSize(%d) = %d", i, size)
+			}
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+			total += size
+		}
+		if total != v {
+			t.Fatalf("cluster sizes sum to %d, want |V| = %d", total, v)
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("unbalanced clusters: sizes span [%d, %d]", minSize, maxSize)
+		}
+
+		// Forward direction: every CTA maps into a valid slot and
+		// inverts back to itself.
+		for ctaID := 0; ctaID < v; ctaID++ {
+			w, i := p.Map(ctaID)
+			if i < 0 || i >= m {
+				t.Fatalf("Map(%d) cluster %d out of [0,%d)", ctaID, i, m)
+			}
+			if w < 0 || w >= p.ClusterSize(i) {
+				t.Fatalf("Map(%d) position %d out of [0,%d) in cluster %d", ctaID, w, p.ClusterSize(i), i)
+			}
+			if back := p.Invert(w, i); back != ctaID {
+				t.Fatalf("Invert(Map(%d)) = %d", ctaID, back)
+			}
+		}
+
+		// Reverse direction: enumerating every (cluster, position) slot
+		// must assign each CTA exactly once — the bijection the agent
+		// kernel's task loop depends on — and respect ClusterBase.
+		seen := make([]int, v)
+		for i := 0; i < m; i++ {
+			for w := 0; w < p.ClusterSize(i); w++ {
+				ctaID := p.Invert(w, i)
+				if ctaID < 0 || ctaID >= v {
+					t.Fatalf("Invert(%d, %d) = %d out of grid [0,%d)", w, i, ctaID, v)
+				}
+				if w == 0 && ctaID != p.ClusterBase(i) {
+					t.Fatalf("Invert(0, %d) = %d, want ClusterBase = %d", i, ctaID, p.ClusterBase(i))
+				}
+				if mw, mi := p.Map(ctaID); mw != w || mi != i {
+					t.Fatalf("Map(Invert(%d, %d)) = (%d, %d)", w, i, mw, mi)
+				}
+				seen[ctaID]++
+			}
+		}
+		for ctaID, n := range seen {
+			if n != 1 {
+				t.Fatalf("CTA %d assigned %d times, want exactly once (V=%d, M=%d)", ctaID, n, v, m)
+			}
+		}
+	})
+}

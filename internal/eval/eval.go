@@ -136,114 +136,159 @@ type Options struct {
 	Seed int64
 	// Quick skips the throttle sweep (CLUTOT = CLU) for fast smoke runs.
 	Quick bool
+	// Parallelism caps the number of simulations in flight; values <= 1
+	// run serially. Results are byte-identical for every setting (see
+	// parallel.go for the determinism contract).
+	Parallelism int
 }
 
 // EvaluateApp runs the full scheme matrix for one application on one
 // architecture.
 func EvaluateApp(ar *arch.Arch, app *workloads.App, opt Options) (*AppResult, error) {
+	return evaluateApp(ar, app, opt, newRunner(opt.Parallelism))
+}
+
+// evaluateApp runs the scheme matrix on rn. The BSL, RD, CLU and
+// throttle-sweep simulations are mutually independent, so they form the
+// first wave of jobs; CLU+TOT+BPS and PFH+TOT need the swept optimal
+// agent count and form the second. All selection (the sweep argmin,
+// error precedence) scans gathered results in the serial stage order,
+// keeping the outcome identical for any worker count.
+func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*AppResult, error) {
 	cfg := engine.DefaultConfig(ar)
 	if opt.Seed != 0 {
 		cfg.Seed = opt.Seed
 	}
-	run := func(k kernel.Kernel) (*engine.Result, error) {
-		return engine.Run(cfg, k)
+
+	// sim builds a job that runs its own engine instance over k and
+	// parks the result (or the scheme-labelled error) in its own slots.
+	sim := func(k kernel.Kernel, dst **engine.Result, slot *error, label string) func() {
+		return func() {
+			r, err := engine.Run(cfg, k)
+			if err != nil {
+				*slot = fmt.Errorf("eval %s/%s %s: %w", app.Name(), ar.Name, label, err)
+				return
+			}
+			*dst = r
+		}
+	}
+
+	// First wave: construct every independent kernel up front
+	// (construction is cheap and deterministic), then simulate.
+	var stages stageList
+	var jobs []func()
+
+	var base *engine.Result
+	jobs = append(jobs, sim(app, &base, stages.add(), "BSL"))
+
+	// RD: redirection-based clustering along the app's partition order.
+	var rdRes *engine.Result
+	rd, rdErr := core.Redirect(app, ar.SMs, app.Partition(), nil)
+	if rdErr != nil {
+		stages.addErr(rdErr)
+	} else {
+		jobs = append(jobs, sim(rd, &rdRes, stages.add(), "RD"))
+	}
+
+	// CLU: agent-based clustering, all allowable agents active.
+	var cluRes *engine.Result
+	clu, cluErr := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
+	if cluErr != nil {
+		stages.addErr(cluErr)
+	} else {
+		jobs = append(jobs, sim(clu, &cluRes, stages.add(), "CLU"))
+	}
+
+	// CLU+TOT sweep candidates (the dynamic voting scheme): one
+	// independent simulation per throttle degree. candRes is sized
+	// before any job captures an element pointer.
+	var cands []int
+	var candRes []*engine.Result
+	if cluErr == nil && !opt.Quick {
+		for _, a := range throttleCandidates(clu.MaxAgents()) {
+			if a != clu.MaxAgents() { // max is already measured as CLU
+				cands = append(cands, a)
+			}
+		}
+		candRes = make([]*engine.Result, len(cands))
+		for i, a := range cands {
+			tk, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition(), ActiveAgents: a})
+			if err != nil {
+				stages.addErr(err)
+				cands, candRes = cands[:i], candRes[:i]
+				break
+			}
+			jobs = append(jobs, sim(tk, &candRes[i], stages.add(),
+				fmt.Sprintf("CLU+TOT(%d)", a)))
+		}
+	}
+
+	rn.do(jobs...)
+	if err := stages.first(); err != nil {
+		return nil, err
 	}
 
 	out := &AppResult{App: app, Arch: ar, Cells: map[Scheme]Cell{}}
-
-	base, err := run(app)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s/%s BSL: %w", app.Name(), ar.Name, err)
-	}
 	out.Cells[BSL] = cellFrom(BSL, base, base, 0)
-
-	// RD: redirection-based clustering along the app's partition order.
-	rd, err := core.Redirect(app, ar.SMs, app.Partition(), nil)
-	if err != nil {
-		return nil, err
-	}
-	rdRes, err := run(rd)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s/%s RD: %w", app.Name(), ar.Name, err)
-	}
 	out.Cells[RD] = cellFrom(RD, rdRes, base, 0)
-
-	// CLU: agent-based clustering, all allowable agents active.
-	clu, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
-	if err != nil {
-		return nil, err
-	}
-	cluRes, err := run(clu)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s/%s CLU: %w", app.Name(), ar.Name, err)
-	}
 	out.Cells[CLU] = cellFrom(CLU, cluRes, base, clu.MaxAgents())
 
-	// CLU+TOT: sweep the active-agent count (the dynamic voting scheme).
+	// Pick the optimal throttle by scanning in candidate order — the
+	// same first-best-wins tie-break the serial sweep applied.
 	bestRes, bestAgents := cluRes, clu.MaxAgents()
-	if !opt.Quick {
-		for _, a := range throttleCandidates(clu.MaxAgents()) {
-			if a == clu.MaxAgents() {
-				continue // already measured as CLU
-			}
-			tk, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition(), ActiveAgents: a})
-			if err != nil {
-				return nil, err
-			}
-			r, err := run(tk)
-			if err != nil {
-				return nil, fmt.Errorf("eval %s/%s CLU+TOT(%d): %w", app.Name(), ar.Name, a, err)
-			}
-			if r.Cycles < bestRes.Cycles {
-				bestRes, bestAgents = r, a
-			}
+	for i, r := range candRes {
+		if r.Cycles < bestRes.Cycles {
+			bestRes, bestAgents = r, cands[i]
 		}
 	}
 	out.Cells[CLUTOT] = cellFrom(CLUTOT, bestRes, base, bestAgents)
 
+	// Second wave: the two schemes that depend on the swept optimum.
+	var phase2 stageList
+	var wave2 []func()
+
 	// CLU+TOT+BPS: bypass streaming accesses at the optimal throttle.
-	bps, err := core.NewAgent(app, core.AgentConfig{
+	var bpsRes *engine.Result
+	bps, bpsErr := core.NewAgent(app, core.AgentConfig{
 		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Bypass: true,
 	})
-	if err != nil {
-		return nil, err
+	if bpsErr != nil {
+		phase2.addErr(bpsErr)
+	} else {
+		wave2 = append(wave2, sim(bps, &bpsRes, phase2.add(), "BPS"))
 	}
-	bpsRes, err := run(bps)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s/%s BPS: %w", app.Name(), ar.Name, err)
-	}
-	out.Cells[CLUTOTBPS] = cellFrom(CLUTOTBPS, bpsRes, base, bestAgents)
 
 	// PFH+TOT: reshaped order + prefetching at the optimal throttle.
-	pfh, err := core.NewAgent(app, core.AgentConfig{
+	var pfhRes *engine.Result
+	pfh, pfhErr := core.NewAgent(app, core.AgentConfig{
 		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Prefetch: true,
 	})
-	if err != nil {
+	if pfhErr != nil {
+		phase2.addErr(pfhErr)
+	} else {
+		wave2 = append(wave2, sim(pfh, &pfhRes, phase2.add(), "PFH"))
+	}
+
+	rn.do(wave2...)
+	if err := phase2.first(); err != nil {
 		return nil, err
 	}
-	pfhRes, err := run(pfh)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s/%s PFH: %w", app.Name(), ar.Name, err)
-	}
+	out.Cells[CLUTOTBPS] = cellFrom(CLUTOTBPS, bpsRes, base, bestAgents)
 	out.Cells[PFHTOT] = cellFrom(PFHTOT, pfhRes, base, bestAgents)
 
 	return out, nil
 }
 
 // Evaluate runs the scheme matrix for a set of apps, reporting progress.
+// With opt.Parallelism > 1 the per-app evaluations (and the simulations
+// within each) fan out across workers; the returned slice is always in
+// input order and byte-identical to the serial result.
 func Evaluate(ar *arch.Arch, apps []*workloads.App, opt Options, progress func(string)) ([]*AppResult, error) {
-	out := make([]*AppResult, 0, len(apps))
-	for _, app := range apps {
-		if progress != nil {
-			progress(fmt.Sprintf("%s on %s", app.Name(), ar.Name))
-		}
-		r, err := EvaluateApp(ar, app, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	m, err := evaluateMatrix(newRunner(opt.Parallelism), []*arch.Arch{ar}, apps, opt, progress)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return m[0], nil
 }
 
 // GeoMean returns the geometric mean of xs (1.0 for empty input).

@@ -129,7 +129,7 @@ func TestFrameworkAccuracy(t *testing.T) {
 		t.Skip("runs the probe pipeline for all apps")
 	}
 	ar := arch.GTX570()
-	acc, err := EvaluateFramework(ar, workloads.Table2())
+	acc, err := EvaluateFramework(ar, workloads.Table2(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,14 +56,34 @@ func (a *FrameworkAccuracy) DirectionRate() float64 {
 	return float64(a.DirHits) / float64(len(a.Verdicts))
 }
 
-// EvaluateFramework scores the automatic categorization on apps.
-func EvaluateFramework(ar *arch.Arch, apps []*workloads.App) (*FrameworkAccuracy, error) {
-	out := &FrameworkAccuracy{}
-	for _, app := range apps {
-		an, err := locality.Analyze(app, ar)
-		if err != nil {
-			return nil, fmt.Errorf("eval: framework on %s: %w", app.Name(), err)
+// EvaluateFramework scores the automatic categorization on apps. The
+// per-app analyses (each a handful of probe simulations) are mutually
+// independent and fan out across opt.Parallelism workers; verdicts and
+// hit counts are accumulated in input order, so the result is identical
+// to a serial run.
+func EvaluateFramework(ar *arch.Arch, apps []*workloads.App, opt Options) (*FrameworkAccuracy, error) {
+	analyses := make([]*locality.Analysis, len(apps))
+	errs := make([]error, len(apps))
+	jobs := make([]func(), len(apps))
+	for i, app := range apps {
+		i, app := i, app
+		jobs[i] = func() {
+			an, err := locality.Analyze(app, ar)
+			if err != nil {
+				errs[i] = fmt.Errorf("eval: framework on %s: %w", app.Name(), err)
+				return
+			}
+			analyses[i] = an
 		}
+	}
+	newRunner(opt.Parallelism).do(jobs...)
+
+	out := &FrameworkAccuracy{}
+	for i, app := range apps {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		an := analyses[i]
 		v := FrameworkVerdict{
 			App:         app.Name(),
 			Truth:       app.Category(),

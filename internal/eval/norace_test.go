@@ -1,0 +1,8 @@
+//go:build !race
+
+package eval_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism tests shrink their sweep under -race so the full
+// instrumented matrix stays within CI budgets.
+const raceEnabled = false

@@ -1,0 +1,182 @@
+// Parallel evaluation runner. The paper's evaluation (Section 5,
+// Figures 12-13) is a sweep of hundreds of independent simulations:
+// every application under six schemes on four architectures, with the
+// throttling degree swept per application. Each simulation constructs
+// its own engine instance (engine.Run builds all per-run state,
+// including the per-run RNG), kernels are built per job, and the
+// workload descriptors are read-only after package init — so the jobs
+// share nothing mutable and fan out across workers freely.
+//
+// Determinism contract: results are reassembled in the serial
+// presentation order and every selection decision (the throttle-sweep
+// argmin, error precedence) is made by scanning gathered results in
+// that fixed order. Output is therefore byte-identical to the serial
+// path for any Parallelism value; the golden tests in
+// determinism_test.go pin this.
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/workloads"
+)
+
+// runner bounds the number of simulations in flight. A capacity-1
+// runner executes jobs inline in submission order — the serial path —
+// so serial and parallel evaluation share one code path.
+type runner struct {
+	sem chan struct{}
+}
+
+// newRunner builds a runner with the given worker count; values below
+// one mean serial.
+func newRunner(parallelism int) *runner {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &runner{sem: make(chan struct{}, parallelism)}
+}
+
+// serial reports whether the runner executes jobs inline.
+func (r *runner) serial() bool { return cap(r.sem) == 1 }
+
+// do runs the given independent jobs, each bounded by the worker
+// semaphore, and waits for all of them. Jobs communicate outcomes
+// through captured variables; each job owns its own result slot, so no
+// further synchronization is needed beyond the completion barrier.
+func (r *runner) do(fns ...func()) {
+	if r.serial() || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// stageList orders error slots the way the serial evaluation would
+// encounter them, so the parallel path reports the same first error.
+type stageList struct {
+	slots []*error
+}
+
+// add reserves the next slot in serial order and returns it.
+func (s *stageList) add() *error {
+	e := new(error)
+	s.slots = append(s.slots, e)
+	return e
+}
+
+// addErr reserves a slot already holding a (build) error.
+func (s *stageList) addErr(err error) {
+	e := err
+	s.slots = append(s.slots, &e)
+}
+
+// first returns the earliest error in serial stage order.
+func (s *stageList) first() error {
+	for _, e := range s.slots {
+		if *e != nil {
+			return *e
+		}
+	}
+	return nil
+}
+
+// PlatformResult pairs one architecture with its per-app results, in
+// the presentation order of the input app slice.
+type PlatformResult struct {
+	Arch    *arch.Arch
+	Results []*AppResult
+}
+
+// EvaluateAll runs the full (architecture x application) matrix — the
+// complete Figure 12/13 sweep — fanning the underlying simulations out
+// across opt.Parallelism workers. Results come back grouped by
+// platform, both levels in input order, byte-identical to running
+// Evaluate serially per platform.
+func EvaluateAll(platforms []*arch.Arch, apps []*workloads.App, opt Options, progress func(string)) ([]PlatformResult, error) {
+	m, err := evaluateMatrix(newRunner(opt.Parallelism), platforms, apps, opt, progress)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PlatformResult, len(platforms))
+	for i, ar := range platforms {
+		out[i] = PlatformResult{Arch: ar, Results: m[i]}
+	}
+	return out, nil
+}
+
+// evaluateMatrix evaluates every (platform, app) pair on rn. Each pair
+// gets a coordinator goroutine (cheap: it only assembles jobs and
+// waits); the actual simulations contend on the runner's worker
+// semaphore, so total concurrency stays bounded by opt.Parallelism.
+// The first error in presentation order wins, matching the serial path.
+func evaluateMatrix(rn *runner, platforms []*arch.Arch, apps []*workloads.App, opt Options, progress func(string)) ([][]*AppResult, error) {
+	results := make([][]*AppResult, len(platforms))
+	errs := make([][]error, len(platforms))
+	for pi := range platforms {
+		results[pi] = make([]*AppResult, len(apps))
+		errs[pi] = make([]error, len(apps))
+	}
+
+	var progressMu sync.Mutex
+	note := func(app *workloads.App, ar *arch.Arch) {
+		if progress == nil {
+			return
+		}
+		progressMu.Lock()
+		progress(fmt.Sprintf("%s on %s", app.Name(), ar.Name))
+		progressMu.Unlock()
+	}
+
+	if rn.serial() {
+		// Serial path: run in order, stop at the first error — exactly
+		// the historical behaviour.
+		for pi, ar := range platforms {
+			for ai, app := range apps {
+				note(app, ar)
+				r, err := evaluateApp(ar, app, opt, rn)
+				if err != nil {
+					return nil, err
+				}
+				results[pi][ai] = r
+			}
+		}
+		return results, nil
+	}
+
+	var wg sync.WaitGroup
+	for pi, ar := range platforms {
+		for ai, app := range apps {
+			wg.Add(1)
+			go func(pi, ai int, ar *arch.Arch, app *workloads.App) {
+				defer wg.Done()
+				note(app, ar)
+				results[pi][ai], errs[pi][ai] = evaluateApp(ar, app, opt, rn)
+			}(pi, ai, ar, app)
+		}
+	}
+	wg.Wait()
+
+	for pi := range platforms {
+		for ai := range apps {
+			if errs[pi][ai] != nil {
+				return nil, errs[pi][ai]
+			}
+		}
+	}
+	return results, nil
+}

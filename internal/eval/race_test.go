@@ -1,0 +1,7 @@
+//go:build race
+
+package eval_test
+
+// raceEnabled reports whether the race detector is compiled in; see
+// norace_test.go.
+const raceEnabled = true

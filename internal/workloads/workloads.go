@@ -10,6 +10,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ctacluster/internal/arch"
 	"ctacluster/internal/kernel"
@@ -108,17 +109,34 @@ func warpRange(count int, f func(w int) []kernel.Op) [][]kernel.Op {
 
 // Registry
 
-var registry = map[string]func() *App{}
+// registry maps app names to constructors. It is written exclusively by
+// register() during package init and is read-only afterwards, which is
+// what makes New and Names safe to call from concurrent evaluation
+// workers (internal/eval/parallel.go) without locking. The registryRead
+// flag seals the map at its first lookup: a registration arriving after
+// that — which could race with concurrent readers — panics loudly
+// instead of corrupting the map silently.
+var (
+	registry     = map[string]func() *App{}
+	registryRead atomic.Bool
+)
 
 func register(name string, f func() *App) {
+	if registryRead.Load() {
+		panic(fmt.Sprintf("workloads: register(%s) after first lookup — the registry is read-only once readers exist", name))
+	}
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("workloads: duplicate app %s", name))
 	}
 	registry[name] = f
 }
 
-// New instantiates a registered application at its default scale.
+// New instantiates a registered application at its default scale. Each
+// call returns a fresh *App; the App's trace generator is a pure
+// function of the launch context, so a single *App may also be shared
+// by concurrent simulations.
 func New(name string) (*App, error) {
+	registryRead.Store(true)
 	f, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("workloads: unknown application %q", name)
@@ -128,6 +146,7 @@ func New(name string) (*App, error) {
 
 // Names returns every registered application name, sorted.
 func Names() []string {
+	registryRead.Store(true)
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
