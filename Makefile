@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet
+.PHONY: build test race fuzz bench vet prof prof-golden
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,15 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the profiling exporter goldens (internal/prof/testdata)
+# after a deliberate format or simulation change; review the diff before
+# committing.
+prof:
+	$(GO) test -run 'Golden' -update ./internal/prof
+
+# The profiling gate the CI enforces: exporter goldens, snapshot
+# conservation and the serial-vs-parallel profile determinism sweep,
+# all under the race detector.
+prof-golden:
+	$(GO) test -race -run 'Golden|Snapshot|Profile' ./internal/prof ./internal/eval

@@ -83,6 +83,40 @@ type Stats struct {
 // Accesses returns the total demand accesses (reads + writes).
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 
+// Add accumulates o into s field by field (aggregating per-SM caches or
+// summing interval snapshots back into run totals).
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadHits += o.ReadHits
+	s.ReadReserved += o.ReadReserved
+	s.ReadMisses += o.ReadMisses
+	s.WriteHits += o.WriteHits
+	s.WriteMisses += o.WriteMisses
+	s.BypassedReads += o.BypassedReads
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.Fills += o.Fills
+}
+
+// Sub returns the counter deltas s - o; with cumulative snapshots taken
+// from the same cache, o earlier than s, every delta is non-negative.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:         s.Reads - o.Reads,
+		Writes:        s.Writes - o.Writes,
+		ReadHits:      s.ReadHits - o.ReadHits,
+		ReadReserved:  s.ReadReserved - o.ReadReserved,
+		ReadMisses:    s.ReadMisses - o.ReadMisses,
+		WriteHits:     s.WriteHits - o.WriteHits,
+		WriteMisses:   s.WriteMisses - o.WriteMisses,
+		BypassedReads: s.BypassedReads - o.BypassedReads,
+		Evictions:     s.Evictions - o.Evictions,
+		Writebacks:    s.Writebacks - o.Writebacks,
+		Fills:         s.Fills - o.Fills,
+	}
+}
+
 // HitRate returns read hits (including reserved merges, which do find
 // their data in the cache eventually) over read accesses; the profiler
 // convention the paper's HT_RTE series uses.

@@ -29,17 +29,20 @@ func Platforms(name string) ([]*arch.Arch, error) {
 	return []*arch.Arch{a}, nil
 }
 
-// Platform resolves a single-platform -arch flag. The empty string is
-// rejected: tools with a single target default the flag value instead.
+// Platform resolves a single-platform -arch flag, matching the product
+// name case-insensitively ("teslak40" resolves TeslaK40). The empty
+// string is rejected: tools with a single target default the flag value
+// instead.
 func Platform(name string) (*arch.Arch, error) {
 	if name == "" {
 		return nil, fmt.Errorf("missing -arch (one of %s)", strings.Join(platformNames(), ", "))
 	}
-	a, err := arch.ByName(name)
-	if err != nil {
-		return nil, fmt.Errorf("unknown platform %q (known: %s)", name, strings.Join(platformNames(), ", "))
+	for _, a := range append(arch.All(), arch.GTX750Ti()) {
+		if strings.EqualFold(a.Name, name) {
+			return a, nil
+		}
 	}
-	return a, nil
+	return nil, fmt.Errorf("unknown platform %q (known: %s)", name, strings.Join(platformNames(), ", "))
 }
 
 // Apps resolves the -apps flag: an empty value selects the full Table 2
@@ -61,16 +64,18 @@ func Apps(csv string) ([]*workloads.App, error) {
 	return apps, nil
 }
 
-// App resolves a single application name.
+// App resolves a single application name, matching the Table 2
+// abbreviation case-insensitively ("mm" resolves MM).
 func App(name string) (*workloads.App, error) {
 	if name == "" {
 		return nil, fmt.Errorf("missing application name (known: %s)", strings.Join(workloads.Names(), ", "))
 	}
-	a, err := workloads.New(name)
-	if err != nil {
-		return nil, fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
+	for _, n := range workloads.Names() {
+		if strings.EqualFold(n, name) {
+			return workloads.New(n)
+		}
 	}
-	return a, nil
+	return nil, fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
 }
 
 // Parallelism resolves the -parallel flag: 0 means one worker per

@@ -16,7 +16,7 @@ func TestPlatforms(t *testing.T) {
 		{name: "single known platform", arg: "TeslaK40", want: 1},
 		{name: "observation platform", arg: "GTX750Ti", want: 1},
 		{name: "unknown platform", arg: "H100", errPart: `unknown platform "H100"`},
-		{name: "case sensitive", arg: "teslak40", errPart: "unknown platform"},
+		{name: "case insensitive", arg: "teslak40", want: 1},
 		{name: "whitespace is not trimmed", arg: " TeslaK40", errPart: "unknown platform"},
 	}
 	for _, tt := range tests {
@@ -52,6 +52,19 @@ func TestPlatform(t *testing.T) {
 	if a.Name != "GTX1080" {
 		t.Fatalf("Platform(GTX1080).Name = %s", a.Name)
 	}
+	// Case-insensitive resolution returns the canonical product name.
+	for _, alias := range []string{"teslak40", "TESLAK40", "TeslaK40"} {
+		a, err := Platform(alias)
+		if err != nil {
+			t.Fatalf("Platform(%q): %v", alias, err)
+		}
+		if a.Name != "TeslaK40" {
+			t.Fatalf("Platform(%q).Name = %s, want TeslaK40", alias, a.Name)
+		}
+	}
+	if a, err := Platform("gtx750ti"); err != nil || a.Name != "GTX750Ti" {
+		t.Fatalf("Platform(gtx750ti) = %v, %v; want the observation platform", a, err)
+	}
 	// The error must name the known platforms so the user can recover.
 	_, err = Platform("nope")
 	if err == nil || !strings.Contains(err.Error(), "TeslaK40") {
@@ -70,6 +83,7 @@ func TestApps(t *testing.T) {
 		{name: "single app", arg: "MM", want: []string{"MM"}},
 		{name: "subset keeps order", arg: "KMN,MM,NN", want: []string{"KMN", "MM", "NN"}},
 		{name: "spaces are trimmed", arg: " MM , KMN ", want: []string{"MM", "KMN"}},
+		{name: "case insensitive", arg: "mm,kmn", want: []string{"MM", "KMN"}},
 		{name: "unknown app", arg: "MM,NOPE", errPart: `unknown application "NOPE"`},
 		{name: "empty element is an error not a skip", arg: "MM,,KMN", errPart: "missing application name"},
 		{name: "trailing comma is an error", arg: "MM,", errPart: "missing application name"},
@@ -120,6 +134,16 @@ func TestApp(t *testing.T) {
 	}
 	if a.Name() != "BFS" {
 		t.Fatalf("App(BFS).Name = %s", a.Name())
+	}
+	// Lower-case abbreviations resolve to the canonical registration.
+	for _, alias := range []string{"mm", "Mm", "MM"} {
+		a, err := App(alias)
+		if err != nil {
+			t.Fatalf("App(%q): %v", alias, err)
+		}
+		if a.Name() != "MM" {
+			t.Fatalf("App(%q).Name = %s, want MM", alias, a.Name())
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"ctacluster/internal/cache"
 	"ctacluster/internal/kernel"
 	"ctacluster/internal/mem"
+	"ctacluster/internal/prof"
 )
 
 // Config controls one simulation run.
@@ -35,6 +36,11 @@ type Config struct {
 	Seed int64
 	// MaxCycles aborts runaway simulations; 0 means the default bound.
 	MaxCycles int64
+	// Profiler receives the run's event stream and interval counter
+	// snapshots (internal/prof). nil disables profiling entirely: every
+	// emit site is behind a single pointer comparison and the run makes
+	// no profiling allocations.
+	Profiler prof.Profiler
 }
 
 // DefaultConfig returns the customary configuration for an architecture:
@@ -91,6 +97,16 @@ type Result struct {
 // L2ReadTransactions is the paper's headline cache metric: 32B read
 // transactions arriving at L2 (L1-L2 read transactions).
 func (r *Result) L2ReadTransactions() uint64 { return r.Mem.ReadTransactions }
+
+// ProfMetrics converts the result into the exporter record of
+// internal/prof — the end-of-run counters the nvprof-style CSV renders.
+func (r *Result) ProfMetrics() prof.Metrics {
+	return prof.Metrics{
+		Kernel: r.Kernel, Arch: r.Arch, Cycles: r.Cycles,
+		AchievedOccupancy: r.AchievedOccupancy,
+		L1:                r.L1, L2: r.L2, Mem: r.Mem,
+	}
+}
 
 // warpState is one resident warp.
 type warpState struct {
@@ -153,6 +169,11 @@ type sim struct {
 	occLast  int64
 	occAccum float64
 	occBusy  int64
+
+	// profiling (nil/zero when disabled)
+	prof      prof.Profiler
+	snapEvery int64 // counter-snapshot period in cycles; 0 = off
+	nextSnap  int64
 
 	now int64
 }
@@ -217,12 +238,42 @@ func Run(cfg Config, k kernel.Kernel) (*Result, error) {
 			pendFills: make(map[uint64]int64),
 		}
 	}
+	if s.prof = cfg.Profiler; s.prof != nil {
+		if iv := s.prof.SampleInterval(); iv > 0 {
+			s.snapEvery, s.nextSnap = iv, iv
+		}
+		// Route L2 transactions into the event stream. The closure is
+		// the only profiling allocation, made once per run.
+		p := s.prof
+		s.memsys.SetObserver(func(at int64, smID int, addr uint64, kind mem.TxnKind, l2Hit bool) {
+			p.Emit(prof.Event{
+				Kind: prof.EvL2Transaction, Tag: uint8(kind), Hit: l2Hit,
+				Write: kind == mem.TxnWrite, SM: int32(smID), CTA: -1, Warp: -1, Slot: -1,
+				Cycle: at, Addr: addr,
+			})
+		})
+	}
 	s.buildOrder()
 	s.firstWave()
 	if err := s.loop(); err != nil {
 		return nil, err
 	}
+	if s.snapEvery > 0 {
+		// Final sample after the drain so the last snapshot equals the
+		// end-of-run totals (the conservation property).
+		s.prof.Snapshot(s.counterSnapshot(s.now))
+	}
 	return s.result(), nil
+}
+
+// counterSnapshot samples the counter registry: the cumulative cache
+// and memory statistics as of cycle at, L1 aggregated over all SMs.
+func (s *sim) counterSnapshot(at int64) prof.Snapshot {
+	snap := prof.Snapshot{Cycle: at, L2: s.memsys.L2Stats(), Mem: s.memsys.Stats()}
+	for _, sm := range s.sms {
+		snap.L1.Add(sm.l1.Stats())
+	}
+	return snap
 }
 
 func (s *sim) result() *Result {
@@ -239,16 +290,7 @@ func (s *sim) result() *Result {
 	for i, sm := range s.sms {
 		st := sm.l1.Stats()
 		res.L1PerSM[i] = st
-		res.L1.Reads += st.Reads
-		res.L1.Writes += st.Writes
-		res.L1.ReadHits += st.ReadHits
-		res.L1.ReadReserved += st.ReadReserved
-		res.L1.ReadMisses += st.ReadMisses
-		res.L1.WriteHits += st.WriteHits
-		res.L1.WriteMisses += st.WriteMisses
-		res.L1.BypassedReads += st.BypassedReads
-		res.L1.Evictions += st.Evictions
-		res.L1.Fills += st.Fills
+		res.L1.Add(st)
 	}
 	if s.occBusy > 0 {
 		res.AchievedOccupancy = s.occAccum / float64(s.occBusy) /
@@ -274,6 +316,12 @@ func (s *sim) loop() error {
 		}
 		if ev.at > s.now {
 			s.now = ev.at
+			if s.snapEvery > 0 && s.now >= s.nextSnap {
+				// Sample at the first event past each boundary, then
+				// skip ahead so one big time jump yields one sample.
+				s.prof.Snapshot(s.counterSnapshot(s.now))
+				s.nextSnap = (s.now/s.snapEvery + 1) * s.snapEvery
+			}
 		}
 		s.step(ev.warp)
 	}

@@ -3,11 +3,35 @@ package engine
 import (
 	"ctacluster/internal/cache"
 	"ctacluster/internal/kernel"
+	"ctacluster/internal/prof"
 )
 
 // mlpWindow is the number of loads a warp can keep in flight before it
 // must wait (the LSU queue depth / scoreboard size).
 const mlpWindow = 6
+
+// emitStall records a warp blocking until the given cycle. Callers
+// guard with s.prof != nil so the disabled path stays branch-only.
+func (s *sim) emitStall(w *warpState, reason prof.StallReason, until int64) {
+	dur := until - s.now
+	if dur < 0 {
+		dur = 0
+	}
+	s.prof.Emit(prof.Event{
+		Kind: prof.EvWarpStall, Tag: uint8(reason),
+		SM: int32(w.cta.sm.id), CTA: int32(w.cta.rec.CTA), Warp: int32(w.id),
+		Slot: int32(w.cta.rec.Slot), Cycle: s.now, Dur: dur,
+	})
+}
+
+// emitMemOp records one completed warp memory instruction.
+func (s *sim) emitMemOp(w *warpState, class prof.MemClass, addr uint64, issue, done int64, write bool) {
+	s.prof.Emit(prof.Event{
+		Kind: prof.EvMemOp, Tag: uint8(class), Write: write,
+		SM: int32(w.cta.sm.id), CTA: int32(w.cta.rec.CTA), Warp: int32(w.id),
+		Slot: int32(w.cta.rec.Slot), Cycle: issue, Dur: done - issue, Addr: addr,
+	})
+}
 
 // step executes the next op of warp w at the current simulation time.
 func (s *sim) step(w *warpState) {
@@ -22,6 +46,9 @@ func (s *sim) step(w *warpState) {
 			d := w.pendDone
 			w.pendDone = 0
 			w.outstanding = 0
+			if s.prof != nil {
+				s.emitStall(w, prof.StallTraceEnd, d)
+			}
 			s.sched.schedule(d, w)
 			return
 		}
@@ -36,6 +63,9 @@ func (s *sim) step(w *warpState) {
 		d := w.pendDone
 		w.pendDone = 0
 		w.outstanding = 0
+		if s.prof != nil {
+			s.emitStall(w, prof.StallDrain, d)
+		}
 		s.sched.schedule(d, w)
 		return
 	}
@@ -71,6 +101,16 @@ func (s *sim) step(w *warpState) {
 
 	case kernel.OpMem:
 		done := s.memAccess(sm, cta, op.Mem, issue)
+		if s.prof != nil {
+			class := prof.MemLoad
+			switch {
+			case op.Mem.Prefetch:
+				class = prof.MemPrefetch
+			case op.Mem.Write:
+				class = prof.MemStore
+			}
+			s.emitMemOp(w, class, op.Mem.Base, issue, done, op.Mem.Write)
+		}
 		if op.Mem.Prefetch || op.Mem.Write {
 			// Prefetches and stores are fire-and-forget.
 			s.sched.schedule(issue+1, w)
@@ -87,6 +127,9 @@ func (s *sim) step(w *warpState) {
 			d := w.pendDone
 			w.pendDone = 0
 			w.outstanding = 0
+			if s.prof != nil {
+				s.emitStall(w, prof.StallWindowFull, d)
+			}
 			s.sched.schedule(d, w)
 		} else {
 			s.sched.schedule(issue+1, w)
@@ -94,6 +137,9 @@ func (s *sim) step(w *warpState) {
 
 	case kernel.OpAtomic:
 		done := s.memsys.Atomic(issue, sm.id, op.Mem.Base)
+		if s.prof != nil {
+			s.emitMemOp(w, prof.MemAtomic, op.Mem.Base, issue, done, true)
+		}
 		s.sched.schedule(done, w)
 	}
 }
@@ -133,6 +179,15 @@ func lineKey(lineBase uint64, sector int) uint64 {
 	return lineBase<<1 | uint64(sector&1)
 }
 
+// emitL1 records one L1-line access outcome.
+func (s *sim) emitL1(sm *smState, cta *ctaState, addr uint64, res cache.Result, at int64, write bool) {
+	s.prof.Emit(prof.Event{
+		Kind: prof.EvCacheAccess, Tag: uint8(res), Write: write,
+		SM: int32(sm.id), CTA: int32(cta.rec.CTA), Warp: -1,
+		Slot: int32(cta.rec.Slot), Cycle: at, Addr: addr,
+	})
+}
+
 // memAccess routes one warp memory op through the hierarchy and returns
 // the absolute completion time.
 func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64) int64 {
@@ -149,7 +204,10 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 					sm.l1.Fill(a, sector)
 					delete(sm.pendFills, key)
 				}
-				sm.l1.Write(a, sector)
+				res := sm.l1.Write(a, sector)
+				if s.prof != nil {
+					s.emitL1(sm, cta, a, res, issue, true)
+				}
 			}
 		}
 		done := issue + storeAckLatency
@@ -165,7 +223,10 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 	if !s.cfg.L1Enabled || m.Bypass {
 		done := issue
 		for _, a := range m.Transactions(ar.L2Line) {
-			sm.l1.BypassRead()
+			res := sm.l1.BypassRead()
+			if s.prof != nil {
+				s.emitL1(sm, cta, a, res, issue, false)
+			}
 			if t := s.memsys.Read(issue, sm.id, a, ar.L2Line); t > done {
 				done = t
 			}
@@ -185,7 +246,11 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 			delete(sm.pendFills, key)
 		}
 		var t int64
-		switch sm.l1.Read(a, sector) {
+		res := sm.l1.Read(a, sector)
+		if s.prof != nil {
+			s.emitL1(sm, cta, a, res, issue, false)
+		}
+		switch res {
 		case cache.Hit:
 			t = issue + int64(ar.L1Latency)
 		case cache.HitReserved:

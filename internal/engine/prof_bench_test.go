@@ -1,0 +1,128 @@
+package engine
+
+// Overhead regression guard for the profiling subsystem: a run with a
+// nil Profiler must make zero additional allocations versus the seed
+// engine, and the emit sites must cost only a nil check. The benchmarks
+// let the profiled/bare cycle-cost ratio be tracked release to release
+// (the acceptance budget is <=2% wall-clock on the bare path).
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/prof"
+)
+
+// noopProf implements prof.Profiler with empty methods: the emit sites
+// run their full argument construction, but nothing is retained.
+type noopProf struct{ interval int64 }
+
+func (noopProf) Emit(prof.Event)         {}
+func (noopProf) Snapshot(prof.Snapshot)  {}
+func (p noopProf) SampleInterval() int64 { return p.interval }
+
+// benchKernel is a mid-size memory-heavy kernel: enough CTAs and loads
+// that the emit sites fire thousands of times per run.
+func benchKernel() *testKernel {
+	return simpleKernel(64, 2, func(l kernel.Launch, w int) []kernel.Op {
+		return []kernel.Op{
+			kernel.Compute(4),
+			kernel.Load(uint64(0x10000+l.CTA*4096+w*128), 4, 32, 4),
+			kernel.Load(uint64(0x400000+(l.CTA%7)*256), 4, 32, 4),
+			kernel.Compute(2),
+			kernel.Store(uint64(0x800000+l.CTA*4096+w*128), 4, 32, 4),
+		}
+	})
+}
+
+func benchConfig(p prof.Profiler) Config {
+	cfg := DefaultConfig(arch.TeslaK40())
+	cfg.Profiler = p
+	return cfg
+}
+
+// TestProfilerEmitZeroAlloc pins the contract that emitting an event
+// through the interface allocates nothing: prof.Event is a flat value
+// struct, so the call boxes no arguments.
+func TestProfilerEmitZeroAlloc(t *testing.T) {
+	var sink prof.Profiler = noopProf{}
+	ev := prof.Event{
+		Kind: prof.EvMemOp, Tag: uint8(prof.MemLoad),
+		SM: 3, CTA: 17, Warp: 2, Slot: 1, Cycle: 1234, Dur: 220, Addr: 0xdeadbeef,
+	}
+	if n := testing.AllocsPerRun(100, func() { sink.Emit(ev) }); n != 0 {
+		t.Errorf("Profiler.Emit allocates %.0f times per call, want 0", n)
+	}
+}
+
+// TestRunNilProfilerZeroExtraAllocs compares whole-run allocation counts
+// with a nil profiler against a no-op profiler receiving every event.
+// The nil run must not allocate more than the instrumented run minus the
+// enabled-path setup (the memory-system observer closure), proving the
+// emit sites are free when profiling is off.
+func TestRunNilProfilerZeroExtraAllocs(t *testing.T) {
+	run := func(p prof.Profiler) {
+		if _, err := Run(benchConfig(p), benchKernel()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(nil) // warm any lazy initialisation before measuring
+
+	allocsBare := testing.AllocsPerRun(3, func() { run(nil) })
+	allocsNoop := testing.AllocsPerRun(3, func() { run(noopProf{}) })
+
+	// The only allocations the enabled path may add are the fixed setup
+	// in Run (the observer closure wiring), not per-event costs.
+	const setupBudget = 4
+	if allocsNoop-allocsBare > setupBudget {
+		t.Errorf("profiled run allocates %.0f more than bare run (budget %d): emit sites are not allocation-free",
+			allocsNoop-allocsBare, setupBudget)
+	}
+	if allocsBare > allocsNoop {
+		t.Errorf("bare run allocates more (%.0f) than profiled run (%.0f)?", allocsBare, allocsNoop)
+	}
+}
+
+// BenchmarkRunBare is the engine without profiling — the baseline the
+// <=2% overhead acceptance bound is measured against.
+func BenchmarkRunBare(b *testing.B) {
+	cfg := benchConfig(nil)
+	k := benchKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunProfiled runs the same kernel with a full event-mask
+// recording Trace attached.
+func BenchmarkRunProfiled(b *testing.B) {
+	k := benchKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := prof.NewTrace(prof.TraceConfig{
+			Kernel: "bench", Arch: "TeslaK40", SMs: 15,
+			Events: prof.MaskAll, SampleInterval: 1024,
+		})
+		cfg := benchConfig(tr)
+		if _, err := Run(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunNoopProfiled isolates the emit-site cost itself (argument
+// construction + interface call, no recording).
+func BenchmarkRunNoopProfiled(b *testing.B) {
+	cfg := benchConfig(noopProf{})
+	k := benchKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

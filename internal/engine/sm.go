@@ -3,6 +3,7 @@ package engine
 import (
 	"ctacluster/internal/arch"
 	"ctacluster/internal/kernel"
+	"ctacluster/internal/prof"
 )
 
 // Pipeline constants (cycles). These are not per-architecture in the
@@ -72,12 +73,24 @@ func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
 	cta := &ctaState{sm: sm}
 	cta.rec = CTARecord{CTA: id, SM: sm.id, Slot: slot, Dispatched: at}
 	s.perSM[sm.id] = append(s.perSM[sm.id], id)
+	if s.prof != nil {
+		s.prof.Emit(prof.Event{
+			Kind: prof.EvCTADispatch, SM: int32(sm.id), CTA: int32(id),
+			Warp: -1, Slot: int32(slot), Cycle: at,
+		})
+	}
 
 	if work.Skip || len(work.Warps) == 0 {
 		// Throttled agent: retires immediately, freeing the slot.
 		cta.rec.Skipped = true
 		cta.rec.Retired = at + dispatchLatency
 		s.records[id] = cta.rec
+		if s.prof != nil {
+			s.prof.Emit(prof.Event{
+				Kind: prof.EvCTARetire, SM: int32(sm.id), CTA: int32(id),
+				Warp: -1, Slot: int32(slot), Cycle: cta.rec.Retired, Dur: dispatchLatency,
+			})
+		}
 		s.afterRetire(sm, slot, cta.rec.Retired)
 		return
 	}
@@ -127,6 +140,12 @@ func (s *sim) retire(cta *ctaState, at int64) {
 	cta.rec.Retired = at
 	s.records[cta.rec.CTA] = cta.rec
 	sm := cta.sm
+	if s.prof != nil {
+		s.prof.Emit(prof.Event{
+			Kind: prof.EvCTARetire, SM: int32(sm.id), CTA: int32(cta.rec.CTA),
+			Warp: -1, Slot: int32(cta.rec.Slot), Cycle: at, Dur: at - cta.rec.Dispatched,
+		})
+	}
 	sm.slots[cta.rec.Slot] = nil
 	s.occupancyDelta(sm, at, -len(cta.warps))
 	s.afterRetire(sm, cta.rec.Slot, at)

@@ -13,6 +13,7 @@ import (
 	"ctacluster/internal/core"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/kernel"
+	"ctacluster/internal/prof"
 	"ctacluster/internal/workloads"
 )
 
@@ -140,6 +141,14 @@ type Options struct {
 	// run serially. Results are byte-identical for every setting (see
 	// parallel.go for the determinism contract).
 	Parallelism int
+	// ProfileDir, when non-empty, attaches a profiler to every
+	// simulation the sweep runs and writes one Chrome trace JSON and
+	// one nvprof-style metrics CSV per cell into the directory (see
+	// profile.go). Output bytes are identical for every Parallelism.
+	ProfileDir string
+	// ProfileInterval is the counter-snapshot period in cycles for
+	// profiled sweeps; 0 means DefaultProfileInterval.
+	ProfileInterval int64
 }
 
 // EvaluateApp runs the full scheme matrix for one application on one
@@ -162,14 +171,27 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 
 	// sim builds a job that runs its own engine instance over k and
 	// parks the result (or the scheme-labelled error) in its own slots.
+	// Profiled sweeps attach a per-job trace and dump it on completion;
+	// each job writes its own distinct files.
 	sim := func(k kernel.Kernel, dst **engine.Result, slot *error, label string) func() {
 		return func() {
-			r, err := engine.Run(cfg, k)
+			runCfg := cfg
+			var tr *prof.Trace
+			if opt.ProfileDir != "" {
+				tr = newProfileTrace(ar, app, label, opt)
+				runCfg.Profiler = tr
+			}
+			r, err := engine.Run(runCfg, k)
 			if err != nil {
 				*slot = fmt.Errorf("eval %s/%s %s: %w", app.Name(), ar.Name, label, err)
 				return
 			}
 			*dst = r
+			if tr != nil {
+				if err := writeProfile(opt.ProfileDir, tr, r); err != nil {
+					*slot = err
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,132 @@
+package eval
+
+// Sweep-profiling determinism: with Options.ProfileDir set, a full
+// scheme sweep dumps one Chrome trace and one metrics CSV per simulated
+// cell, and those files must be byte-identical whether the sweep ran
+// serially or with eight workers. Each job owns its trace and filename,
+// so this holds by construction — this test keeps it that way.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/workloads"
+)
+
+// sweepProfiles runs the MM quick sweep on TeslaK40 with profiling into
+// a fresh directory and returns the directory and the result.
+func sweepProfiles(t *testing.T, parallelism int) (string, *AppResult) {
+	t.Helper()
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r, err := EvaluateApp(arch.TeslaK40(), app, Options{
+		Quick:       true,
+		Parallelism: parallelism,
+		ProfileDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, r
+}
+
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestProfileDirSerialParallelIdentical(t *testing.T) {
+	serialDir, serialRes := sweepProfiles(t, 1)
+	parDir, _ := sweepProfiles(t, 8)
+
+	serial := listFiles(t, serialDir)
+	par := listFiles(t, parDir)
+	if len(serial) == 0 {
+		t.Fatal("profiled sweep wrote no files")
+	}
+	if strings.Join(serial, ",") != strings.Join(par, ",") {
+		t.Fatalf("file sets differ:\n  serial:   %v\n  parallel: %v", serial, par)
+	}
+
+	for _, name := range serial {
+		a, err := os.ReadFile(filepath.Join(serialDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(parDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between serial and parallel sweeps (%d vs %d bytes)", name, len(a), len(b))
+		}
+		// Every trace must load as valid JSON with a non-empty timeline.
+		if strings.HasSuffix(name, ".trace.json") {
+			var doc struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(a, &doc); err != nil {
+				t.Errorf("%s is invalid JSON: %v", name, err)
+			} else if len(doc.TraceEvents) == 0 {
+				t.Errorf("%s has no trace events", name)
+			}
+		}
+	}
+
+	// The BSL cell's metrics CSV must agree with the in-memory result:
+	// its l2_read_transactions row is exactly Cell.L2Txn.
+	base := serialRes.Cells[BSL]
+	csv, err := os.ReadFile(filepath.Join(serialDir, "MM_TeslaK40_BSL.metrics.csv"))
+	if err != nil {
+		t.Fatalf("BSL metrics CSV missing: %v", err)
+	}
+	var l2row string
+	for _, line := range strings.Split(string(csv), "\n") {
+		if strings.HasPrefix(line, "l2_read_transactions,") {
+			l2row = strings.TrimPrefix(line, "l2_read_transactions,")
+		}
+	}
+	if l2row == "" {
+		t.Fatalf("no l2_read_transactions row in BSL metrics CSV:\n%s", csv)
+	}
+	got, err := strconv.ParseUint(strings.TrimSpace(l2row), 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable l2_read_transactions value %q: %v", l2row, err)
+	}
+	if got != base.L2Txn {
+		t.Errorf("BSL metrics CSV reports %d L2 read transactions, sweep result says %d", got, base.L2Txn)
+	}
+}
+
+// TestProfileBaseFilenames pins the cell-label sanitisation: scheme
+// labels with '+' and parentheses must collapse to single underscores.
+func TestProfileBaseFilenames(t *testing.T) {
+	cases := []struct{ app, arch, label, want string }{
+		{"MM", "TeslaK40", "BSL", "MM_TeslaK40_BSL"},
+		{"MM", "TeslaK40", "CLU+TOT(2)", "MM_TeslaK40_CLU_TOT_2"},
+		{"ATX", "GTX570", "CLU+TOT+BPS", "ATX_GTX570_CLU_TOT_BPS"},
+	}
+	for _, c := range cases {
+		if got := profileBase(c.app, c.arch, c.label); got != c.want {
+			t.Errorf("profileBase(%q, %q, %q) = %q, want %q", c.app, c.arch, c.label, got, c.want)
+		}
+	}
+}

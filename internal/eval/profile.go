@@ -1,0 +1,99 @@
+// Profile output for the evaluation sweep: with Options.ProfileDir set,
+// every simulation a sweep runs — BSL, RD, CLU, the throttle candidates
+// and the second-wave schemes — dumps its per-cell Chrome trace and
+// nvprof-style metrics CSV, so a full Figure-12 sweep becomes fully
+// observable cell by cell. Each job owns its trace and writes distinct
+// files, so the parallel runner needs no extra synchronization and the
+// outputs stay byte-identical for every Parallelism setting.
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/workloads"
+)
+
+// DefaultProfileInterval is the counter-snapshot period (cycles) used
+// when Options.ProfileInterval is zero.
+const DefaultProfileInterval = 4096
+
+// profileInterval resolves the snapshot period for a run.
+func (o Options) profileInterval() int64 {
+	if o.ProfileInterval > 0 {
+		return o.ProfileInterval
+	}
+	return DefaultProfileInterval
+}
+
+// newProfileTrace builds the per-simulation trace for a sweep cell. The
+// sweep records the cheap CTA-lifetime timeline plus interval counter
+// snapshots; per-access event classes are for cmd/ctaprof runs.
+func newProfileTrace(ar *arch.Arch, app *workloads.App, label string, opt Options) *prof.Trace {
+	return prof.NewTrace(prof.TraceConfig{
+		Kernel: app.Name(), Arch: ar.Name, Label: label, SMs: ar.SMs,
+		Events:         prof.MaskCTA,
+		SampleInterval: opt.profileInterval(),
+	})
+}
+
+// profileBase sanitizes one sweep cell's file-name stem:
+// "<app>_<arch>_<label>" with every non-alphanumeric run collapsed to
+// one underscore ("CLU+TOT(2)" -> "CLU_TOT_2").
+func profileBase(app, arch, label string) string {
+	raw := fmt.Sprintf("%s_%s_%s", app, arch, label)
+	var b strings.Builder
+	pending := false
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			if pending && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pending = false
+			b.WriteRune(r)
+		default:
+			pending = true
+		}
+	}
+	return b.String()
+}
+
+// writeProfile dumps one simulation's trace and metrics into dir.
+func writeProfile(dir string, tr *prof.Trace, res *engine.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eval: profile dir: %w", err)
+	}
+	cfg := tr.Config()
+	base := profileBase(cfg.Kernel, cfg.Arch, cfg.Label)
+
+	tf, err := os.Create(filepath.Join(dir, base+".trace.json"))
+	if err != nil {
+		return fmt.Errorf("eval: profile trace: %w", err)
+	}
+	if err := prof.WriteChromeTrace(tf, tr); err != nil {
+		tf.Close()
+		return fmt.Errorf("eval: profile trace: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("eval: profile trace: %w", err)
+	}
+
+	mf, err := os.Create(filepath.Join(dir, base+".metrics.csv"))
+	if err != nil {
+		return fmt.Errorf("eval: profile metrics: %w", err)
+	}
+	if err := prof.WriteMetricsCSV(mf, res.ProfMetrics()); err != nil {
+		mf.Close()
+		return fmt.Errorf("eval: profile metrics: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("eval: profile metrics: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,8 @@
 package mem
 
 import (
+	"fmt"
+
 	"ctacluster/internal/arch"
 	"ctacluster/internal/cache"
 )
@@ -19,6 +21,56 @@ type Stats struct {
 	DRAMWrites         uint64 // writebacks reaching DRAM
 }
 
+// Add accumulates o into s field by field.
+func (s *Stats) Add(o Stats) {
+	s.ReadTransactions += o.ReadTransactions
+	s.WriteTransactions += o.WriteTransactions
+	s.AtomicTransactions += o.AtomicTransactions
+	s.DRAMReads += o.DRAMReads
+	s.DRAMWrites += o.DRAMWrites
+}
+
+// Sub returns the counter deltas s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		ReadTransactions:   s.ReadTransactions - o.ReadTransactions,
+		WriteTransactions:  s.WriteTransactions - o.WriteTransactions,
+		AtomicTransactions: s.AtomicTransactions - o.AtomicTransactions,
+		DRAMReads:          s.DRAMReads - o.DRAMReads,
+		DRAMWrites:         s.DRAMWrites - o.DRAMWrites,
+	}
+}
+
+// TxnKind classifies one 32B transaction arriving at the L2.
+type TxnKind uint8
+
+const (
+	TxnRead TxnKind = iota
+	TxnWrite
+	TxnAtomic
+)
+
+// String returns the transaction-kind name.
+func (k TxnKind) String() string {
+	switch k {
+	case TxnRead:
+		return "read"
+	case TxnWrite:
+		return "write"
+	case TxnAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("TxnKind(%d)", int(k))
+	}
+}
+
+// TxnObserver sees every 32B transaction at the moment its L2 bank
+// services it: the service cycle, the injecting SM, the address, the
+// kind, and whether the L2 serviced it without going to DRAM. It exists
+// so the profiling layer can trace L2 traffic without this package
+// depending on it; a nil observer costs one branch per transaction.
+type TxnObserver func(at int64, smID int, addr uint64, kind TxnKind, l2Hit bool)
+
 // System is the shared memory hierarchy below L1.
 type System struct {
 	ar       *arch.Arch
@@ -27,6 +79,7 @@ type System struct {
 	dramFree []int64 // next cycle each DRAM channel can start a transfer
 	ports    []port  // per-SM NoC injection ports
 	stats    Stats
+	obs      TxnObserver // nil unless a profiler is attached
 }
 
 // port tracks how many transactions an SM has injected in a cycle so the
@@ -56,6 +109,10 @@ func New(ar *arch.Arch) *System {
 		ports:    make([]port, ar.SMs),
 	}
 }
+
+// SetObserver attaches fn to every subsequent L2 transaction (nil
+// detaches). The engine wires this to the run's profiler.
+func (s *System) SetObserver(fn TxnObserver) { s.obs = fn }
 
 // Stats returns a snapshot of the counters.
 func (s *System) Stats() Stats { return s.stats }
@@ -133,12 +190,17 @@ func (s *System) Read(now int64, smID int, base uint64, nbytes int) int64 {
 		s.stats.ReadTransactions++
 		svc := s.serviceAt(now, smID, addr)
 		var t int64
+		hit := true
 		if res := s.l2.Read(addr, 0); res == cache.Miss {
+			hit = false
 			s.stats.DRAMReads++
 			s.l2.Fill(addr, 0)
 			t = s.dramAt(svc, addr) + int64(s.ar.DRAMLatency)
 		} else {
 			t = svc + int64(s.ar.L2Latency)
+		}
+		if s.obs != nil {
+			s.obs(svc, smID, addr, TxnRead, hit)
 		}
 		if t > done {
 			done = t
@@ -157,13 +219,18 @@ func (s *System) Write(now int64, smID int, base uint64, nbytes int) int64 {
 	for addr := base / line * line; addr < end; addr += line {
 		s.stats.WriteTransactions++
 		svc := s.serviceAt(now, smID, addr)
+		hit := true
 		if res := s.l2.Write(addr, 0); res == cache.Miss {
 			// Write-allocate fill from DRAM; the store itself completes
 			// once the L2 accepts it but the fill occupies a channel.
+			hit = false
 			s.stats.DRAMReads++
 			s.l2.Fill(addr, 0)
 			s.dramAt(svc, addr)
 			_ = s.l2.Write(addr, 0) // dirty the allocated line
+		}
+		if s.obs != nil {
+			s.obs(svc, smID, addr, TxnWrite, hit)
 		}
 		if t := svc + int64(s.ar.L2Latency)/2; t > done {
 			done = t
@@ -179,12 +246,17 @@ func (s *System) Atomic(now int64, smID int, addr uint64) int64 {
 	s.stats.AtomicTransactions++
 	svc := s.serviceAt(now, smID, addr)
 	var done int64
+	hit := true
 	if res := s.l2.Read(addr, 0); res == cache.Miss {
+		hit = false
 		s.stats.DRAMReads++
 		s.l2.Fill(addr, 0)
 		done = s.dramAt(svc, addr) + int64(s.ar.DRAMLatency)
 	} else {
 		done = svc + int64(s.ar.L2Latency)
+	}
+	if s.obs != nil {
+		s.obs(svc, smID, addr, TxnAtomic, hit)
 	}
 	_ = s.l2.Write(addr, 0)
 	// Hold the bank a few extra cycles for the RMW.

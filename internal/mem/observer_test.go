@@ -1,0 +1,91 @@
+package mem
+
+// TxnObserver contract: the callback sees exactly the transactions the
+// Stats counters count, with the right kind, SM and hit/miss flag — the
+// profiler's EvL2Transaction stream is only as trustworthy as this.
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+)
+
+func TestObserverSeesEveryTransaction(t *testing.T) {
+	ar := arch.GTX570()
+	s := New(ar)
+
+	type seen struct {
+		count  uint64
+		misses uint64
+	}
+	byKind := map[TxnKind]*seen{
+		TxnRead: {}, TxnWrite: {}, TxnAtomic: {},
+	}
+	var lastSM int
+	s.SetObserver(func(at int64, smID int, addr uint64, kind TxnKind, l2Hit bool) {
+		rec := byKind[kind]
+		if rec == nil {
+			t.Fatalf("observer called with unknown kind %v", kind)
+		}
+		rec.count++
+		if !l2Hit {
+			rec.misses++
+		}
+		lastSM = smID
+		if at < 0 {
+			t.Fatalf("observer called with negative cycle %d", at)
+		}
+	})
+
+	// A mixed stream: cold reads, a warm re-read, stores (write-allocate
+	// misses then hits), and atomics on hot and cold lines.
+	s.Read(0, 2, 0x1000, 128)   // 4 cold read txns
+	s.Read(100, 2, 0x1000, 128) // 4 warm read txns
+	s.Write(200, 3, 0x1000, 64) // 2 store txns on resident lines
+	s.Write(300, 3, 0x9000, 32) // 1 store txn, write-allocate miss
+	s.Atomic(400, 1, 0x1000)    // hot atomic
+	s.Atomic(500, 1, 0xff000)   // cold atomic
+
+	st := s.Stats()
+	if got, want := byKind[TxnRead].count, st.ReadTransactions; got != want {
+		t.Errorf("observer saw %d read txns, stats count %d", got, want)
+	}
+	if got, want := byKind[TxnWrite].count, st.WriteTransactions; got != want {
+		t.Errorf("observer saw %d write txns, stats count %d", got, want)
+	}
+	if got, want := byKind[TxnAtomic].count, st.AtomicTransactions; got != want {
+		t.Errorf("observer saw %d atomic txns, stats count %d", got, want)
+	}
+	// Every miss path (read, write-allocate, atomic) fills from DRAM, so
+	// observed misses across kinds must equal the DRAM read counter.
+	misses := byKind[TxnRead].misses + byKind[TxnWrite].misses + byKind[TxnAtomic].misses
+	if misses != st.DRAMReads {
+		t.Errorf("observer saw %d misses, stats count %d DRAM reads", misses, st.DRAMReads)
+	}
+	if byKind[TxnRead].misses != 4 {
+		t.Errorf("cold read misses = %d, want 4", byKind[TxnRead].misses)
+	}
+	if lastSM != 1 {
+		t.Errorf("observer saw SM %d on the last atomic, want 1", lastSM)
+	}
+
+	// Detaching the observer stops the callbacks without touching stats.
+	s.SetObserver(nil)
+	before := byKind[TxnRead].count
+	s.Read(600, 0, 0x5000, 32)
+	if byKind[TxnRead].count != before {
+		t.Error("observer fired after SetObserver(nil)")
+	}
+	if s.Stats().ReadTransactions != st.ReadTransactions+1 {
+		t.Error("stats stopped counting after the observer was detached")
+	}
+}
+
+func TestTxnKindString(t *testing.T) {
+	cases := map[TxnKind]string{TxnRead: "read", TxnWrite: "write", TxnAtomic: "atomic"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("TxnKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

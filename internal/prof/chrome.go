@@ -1,0 +1,129 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ctacluster/internal/cache"
+	"ctacluster/internal/mem"
+)
+
+// traceEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Field order fixes the JSON key order;
+// Args maps marshal with sorted keys, so the output is deterministic.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace_event JSON object form.
+type chromeDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders t as Chrome trace_event JSON: one lane (tid)
+// per SM, CTA lifetimes as complete slices, warp stalls and memory ops
+// as nested slices, cache/L2 transactions as instant events, and the
+// interval counter snapshots as counter series. Timestamps are SM
+// cycles (the viewer displays them as microseconds).
+//
+// The output is byte-identical for identical traces: events are written
+// in emission order, which the single-threaded engine fixes
+// deterministically, and all JSON maps marshal with sorted keys.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	cfg := t.Config()
+	procName := cfg.Arch + "/" + cfg.Kernel
+	if cfg.Label != "" {
+		procName += "/" + cfg.Label
+	}
+
+	evs := make([]traceEvent, 0, len(t.events)+cfg.SMs+4*len(t.snaps)+1)
+	evs = append(evs, traceEvent{Name: "process_name", Ph: "M", Args: map[string]any{"name": procName}})
+	for sm := 0; sm < cfg.SMs; sm++ {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Tid: int32(sm),
+			Args: map[string]any{"name": fmt.Sprintf("SM %d", sm)},
+		})
+	}
+
+	for _, e := range t.events {
+		switch e.Kind {
+		case EvCTADispatch:
+			// The lifetime slice rendered at retirement already covers
+			// the dispatch edge.
+		case EvCTARetire:
+			evs = append(evs, traceEvent{
+				Name: fmt.Sprintf("CTA %d", e.CTA), Cat: "cta", Ph: "X",
+				Tid: e.SM, Ts: e.Cycle - e.Dur, Dur: e.Dur,
+				Args: map[string]any{"cta": e.CTA, "slot": e.Slot},
+			})
+		case EvWarpStall:
+			evs = append(evs, traceEvent{
+				Name: "stall:" + StallReason(e.Tag).String(), Cat: "stall", Ph: "X",
+				Tid: e.SM, Ts: e.Cycle, Dur: e.Dur,
+				Args: map[string]any{"cta": e.CTA, "warp": e.Warp},
+			})
+		case EvMemOp:
+			evs = append(evs, traceEvent{
+				Name: MemClass(e.Tag).String(), Cat: "mem", Ph: "X",
+				Tid: e.SM, Ts: e.Cycle, Dur: e.Dur,
+				Args: map[string]any{"addr": e.Addr, "cta": e.CTA, "warp": e.Warp},
+			})
+		case EvCacheAccess:
+			evs = append(evs, traceEvent{
+				Name: "L1 " + cache.Result(e.Tag).String(), Cat: "cache", Ph: "i",
+				Tid: e.SM, Ts: e.Cycle, S: "t",
+				Args: map[string]any{"addr": e.Addr, "cta": e.CTA, "write": e.Write},
+			})
+		case EvL2Transaction:
+			name := "L2 " + mem.TxnKind(e.Tag).String()
+			if e.Hit {
+				name += " hit"
+			} else {
+				name += " miss"
+			}
+			evs = append(evs, traceEvent{
+				Name: name, Cat: "l2", Ph: "i",
+				Tid: e.SM, Ts: e.Cycle, S: "t",
+				Args: map[string]any{"addr": e.Addr},
+			})
+		}
+	}
+
+	for _, s := range t.snaps {
+		counter := func(name string, value any) {
+			evs = append(evs, traceEvent{
+				Name: name, Cat: "counter", Ph: "C", Ts: s.Cycle,
+				Args: map[string]any{"value": value},
+			})
+		}
+		counter("l2_read_transactions", s.Mem.ReadTransactions)
+		counter("l2_write_transactions", s.Mem.WriteTransactions)
+		counter("dram_read_transactions", s.Mem.DRAMReads)
+		counter("l1_hit_rate", s.L1.HitRate())
+	}
+
+	doc := chromeDoc{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"arch":   cfg.Arch,
+			"kernel": cfg.Kernel,
+			"label":  cfg.Label,
+			"unit":   "cycles",
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

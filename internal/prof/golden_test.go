@@ -1,0 +1,151 @@
+package prof_test
+
+// Exporter goldens: a pinned MM-on-TeslaK40 run must render
+// byte-identical Chrome-trace JSON and CSV metrics output, run after
+// run and commit after commit. Regenerate deliberately with
+// `make prof` (go test ./internal/prof -run Golden -update) and review
+// the diff — never absorb drift silently.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenRun executes the pinned configuration: MM on TeslaK40 under the
+// default engine config, recording the CTA timeline with 8192-cycle
+// counter snapshots.
+func goldenRun(t *testing.T) (*prof.Trace, *engine.Result) {
+	t.Helper()
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	tr := prof.NewTrace(prof.TraceConfig{
+		Kernel: app.Name(), Arch: ar.Name, Label: "BSL", SMs: ar.SMs,
+		Events: prof.MaskCTA, SampleInterval: 8192,
+	})
+	cfg := engine.DefaultConfig(ar)
+	cfg.Profiler = tr
+	res, err := engine.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `make prof` to generate): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (%d bytes got, %d want); regenerate with `make prof` and review the diff",
+			path, len(got), len(want))
+	}
+}
+
+func TestGoldenChromeTraceMMTeslaK40(t *testing.T) {
+	tr, _ := goldenRun(t)
+	var buf bytes.Buffer
+	if err := prof.WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The trace must be loadable as valid JSON whatever the golden says.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	checkGolden(t, filepath.Join("testdata", "mm_teslak40.trace.json"), buf.Bytes())
+}
+
+func TestGoldenMetricsCSVMMTeslaK40(t *testing.T) {
+	tr, res := goldenRun(t)
+	_ = tr
+	var buf bytes.Buffer
+	if err := prof.WriteMetricsCSV(&buf, res.ProfMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	// The l2_read_transactions row must match the engine's headline
+	// metric exactly (the acceptance contract of cmd/ctaprof).
+	wantRow := "l2_read_transactions," + uitoa(res.L2ReadTransactions()) + "\n"
+	if !strings.Contains(buf.String(), wantRow) {
+		t.Errorf("metrics CSV missing %q:\n%s", wantRow, buf.String())
+	}
+	checkGolden(t, filepath.Join("testdata", "mm_teslak40.metrics.csv"), buf.Bytes())
+}
+
+// TestSnapshotConservationMMTeslaK40 pins the counter-registry
+// conservation property on a real run: the interval deltas sum back to
+// the final cumulative snapshot, and that final snapshot equals the
+// end-of-run totals engine.Result reports.
+func TestSnapshotConservationMMTeslaK40(t *testing.T) {
+	tr, res := goldenRun(t)
+	snaps := tr.Snapshots()
+	if len(snaps) < 3 {
+		t.Fatalf("only %d snapshots; the pinned run should cross several 8192-cycle boundaries", len(snaps))
+	}
+	var sum prof.Snapshot
+	for _, d := range tr.IntervalDeltas() {
+		sum.L1.Add(d.L1)
+		sum.L2.Add(d.L2)
+		sum.Mem.Add(d.Mem)
+	}
+	last := snaps[len(snaps)-1]
+	if sum.L1 != last.L1 || sum.L2 != last.L2 || sum.Mem != last.Mem {
+		t.Errorf("interval deltas do not sum to the final snapshot:\n  sum:  %+v\n  last: %+v", sum, last)
+	}
+	if last.Cycle != res.Cycles {
+		t.Errorf("final snapshot at cycle %d, want end-of-run %d", last.Cycle, res.Cycles)
+	}
+	if last.L1 != res.L1 {
+		t.Errorf("final L1 snapshot != Result.L1:\n  snap:   %+v\n  result: %+v", last.L1, res.L1)
+	}
+	if last.L2 != res.L2 {
+		t.Errorf("final L2 snapshot != Result.L2:\n  snap:   %+v\n  result: %+v", last.L2, res.L2)
+	}
+	if last.Mem != res.Mem {
+		t.Errorf("final Mem snapshot != Result.Mem:\n  snap:   %+v\n  result: %+v", last.Mem, res.Mem)
+	}
+	// Monotonicity: cumulative counters never decrease.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cycle <= snaps[i-1].Cycle {
+			t.Errorf("snapshot cycles not increasing: %d then %d", snaps[i-1].Cycle, snaps[i].Cycle)
+		}
+		if snaps[i].Mem.ReadTransactions < snaps[i-1].Mem.ReadTransactions {
+			t.Errorf("l2 read transactions decreased between snapshots %d and %d", i-1, i)
+		}
+	}
+}
+
+func uitoa(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,159 @@
+package prof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ctacluster/internal/cache"
+	"ctacluster/internal/mem"
+	"ctacluster/internal/prof"
+)
+
+func TestParseEvents(t *testing.T) {
+	cases := []struct {
+		in   string
+		want prof.EventMask
+		err  bool
+	}{
+		{"cta", prof.MaskCTA, false},
+		{"cta,stall", prof.MaskCTA | prof.MaskStall, false},
+		{" mem , cache ", prof.MaskMem | prof.MaskCache, false},
+		{"l2", prof.MaskL2, false},
+		{"all", prof.MaskAll, false},
+		{"cta,bogus", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := prof.ParseEvents(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseEvents(%q) error = %v, want error %v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseEvents(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTraceMaskFiltering(t *testing.T) {
+	tr := prof.NewTrace(prof.TraceConfig{Events: prof.MaskCTA})
+	tr.Emit(prof.Event{Kind: prof.EvCTADispatch, CTA: 1})
+	tr.Emit(prof.Event{Kind: prof.EvWarpStall, CTA: 1}) // masked out
+	tr.Emit(prof.Event{Kind: prof.EvCTARetire, CTA: 1})
+	tr.Emit(prof.Event{Kind: prof.EvL2Transaction}) // masked out
+	if n := len(tr.Events()); n != 2 {
+		t.Fatalf("recorded %d events, want 2 (mask should drop stall and l2)", n)
+	}
+	for _, e := range tr.Events() {
+		if e.Kind != prof.EvCTADispatch && e.Kind != prof.EvCTARetire {
+			t.Errorf("mask leaked event kind %s", e.Kind)
+		}
+	}
+}
+
+func TestIntervalDeltasReconstructTotals(t *testing.T) {
+	tr := prof.NewTrace(prof.TraceConfig{Events: prof.MaskCTA, SampleInterval: 100})
+	// Three cumulative snapshots with growing counters.
+	snaps := []prof.Snapshot{
+		{Cycle: 100, L1: cache.Stats{Reads: 10, ReadHits: 4}, Mem: mem.Stats{ReadTransactions: 6}},
+		{Cycle: 200, L1: cache.Stats{Reads: 25, ReadHits: 11}, Mem: mem.Stats{ReadTransactions: 14}},
+		{Cycle: 230, L1: cache.Stats{Reads: 31, ReadHits: 12}, Mem: mem.Stats{ReadTransactions: 19, DRAMWrites: 3}},
+	}
+	for _, s := range snaps {
+		tr.Snapshot(s)
+	}
+	deltas := tr.IntervalDeltas()
+	if len(deltas) != len(snaps) {
+		t.Fatalf("%d deltas, want %d", len(deltas), len(snaps))
+	}
+	var sum prof.Snapshot
+	for _, d := range deltas {
+		sum.L1.Add(d.L1)
+		sum.L2.Add(d.L2)
+		sum.Mem.Add(d.Mem)
+	}
+	last := snaps[len(snaps)-1]
+	if sum.L1 != last.L1 || sum.L2 != last.L2 || sum.Mem != last.Mem {
+		t.Errorf("summed deltas do not reconstruct totals:\n  sum:  %+v\n  last: %+v", sum, last)
+	}
+	if deltas[1].L1.Reads != 15 || deltas[1].Mem.ReadTransactions != 8 {
+		t.Errorf("second delta wrong: %+v", deltas[1])
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := prof.NewTrace(prof.TraceConfig{
+		Kernel: "K", Arch: "A", Label: "BSL", SMs: 2,
+		Events: prof.MaskAll, SampleInterval: 10,
+	})
+	tr.Emit(prof.Event{Kind: prof.EvCTADispatch, SM: 0, CTA: 0, Slot: 0, Cycle: 0})
+	tr.Emit(prof.Event{Kind: prof.EvCacheAccess, SM: 0, CTA: 0, Tag: uint8(cache.Miss), Cycle: 3, Addr: 0x100})
+	tr.Emit(prof.Event{Kind: prof.EvL2Transaction, SM: 0, Tag: uint8(mem.TxnRead), Hit: false, Cycle: 4, Addr: 0x100})
+	tr.Emit(prof.Event{Kind: prof.EvWarpStall, SM: 0, CTA: 0, Warp: 1, Tag: uint8(prof.StallWindowFull), Cycle: 5, Dur: 7})
+	tr.Emit(prof.Event{Kind: prof.EvMemOp, SM: 0, CTA: 0, Warp: 1, Tag: uint8(prof.MemLoad), Cycle: 5, Dur: 90, Addr: 0x100})
+	tr.Emit(prof.Event{Kind: prof.EvCTARetire, SM: 0, CTA: 0, Slot: 0, Cycle: 120, Dur: 120})
+	tr.Snapshot(prof.Snapshot{Cycle: 10, Mem: mem.Stats{ReadTransactions: 1}})
+
+	var buf bytes.Buffer
+	if err := prof.WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	// 1 process + 2 thread metadata, 5 rendered events (dispatch is
+	// folded into the retire slice), 4 counters for the snapshot.
+	if want := 1 + 2 + 5 + 4; len(doc.TraceEvents) != want {
+		t.Errorf("%d trace events, want %d", len(doc.TraceEvents), want)
+	}
+	// The CTA lifetime slice must span dispatch..retire.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "CTA 0" {
+			found = true
+			if e["ph"] != "X" || e["ts"].(float64) != 0 || e["dur"].(float64) != 120 {
+				t.Errorf("CTA slice wrong: %v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("no CTA lifetime slice in trace")
+	}
+}
+
+func TestWriteMetricsCSV(t *testing.T) {
+	m := prof.Metrics{
+		Kernel: "MM", Arch: "TeslaK40", Cycles: 55579,
+		AchievedOccupancy: 0.9591608341279979,
+		L1:                cache.Stats{Reads: 110592, ReadHits: 14121},
+		Mem:               mem.Stats{ReadTransactions: 359040},
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteMetricsCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metric,value\n",
+		"l2_read_transactions,359040\n",
+		"elapsed_cycles,55579\n",
+		"achieved_occupancy,0.9591608341279979\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	// Two identical exports must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := prof.WriteMetricsCSV(&buf2, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("CSV export is not deterministic")
+	}
+}
