@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet prof prof-golden
+.PHONY: build test race fuzz bench vet prof prof-golden server
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The daemon gate the CI enforces: the ctad end-to-end suite (cold/warm
+# byte-identity, 16-way request dedup, client-disconnect cancellation,
+# queue shedding) plus the result-cache/key units and the
+# engine/eval cancellation tests, all under the race detector.
+server:
+	$(GO) test -race ./internal/server/... ./internal/rescache ./internal/api
+	$(GO) test -race -run 'Cancel|Deadline|Context' ./internal/engine ./internal/eval
 
 # Regenerate the profiling exporter goldens (internal/prof/testdata)
 # after a deliberate format or simulation change; review the diff before

@@ -7,18 +7,24 @@
 // Usage:
 //
 //	ctacluster -app MM -arch TeslaK40
+//	ctacluster -app MM -json
 //	ctacluster -all -parallel 8
 //	ctacluster -list
 //
 // Unknown -app or -arch names exit non-zero with the known names on
 // stderr. -parallel fans the -all categorization out over workers.
+// -json emits the analysis as one api.OptimizeResponse document — the
+// exact schema the ctad daemon's POST /v1/optimize returns — and
+// requires -app.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"ctacluster/internal/api"
 	"ctacluster/internal/cli"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/eval"
@@ -34,7 +40,12 @@ func main() {
 	list := flag.Bool("list", false, "list available applications")
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
 	parallel := flag.Int("parallel", 0, "analyses in flight for -all (0 = one per CPU, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
+
+	if *jsonOut && (*all || *list) {
+		log.Fatal("-json applies to the single-app analysis (-app); -all and -list have no JSON form")
+	}
 
 	if *all {
 		ar, err := cli.Platform(*archName)
@@ -85,10 +96,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("framework: analyzing %s (%s) on %s...\n", app.Name(), app.LongName(), ar.Name)
+	if !*jsonOut {
+		fmt.Printf("framework: analyzing %s (%s) on %s...\n", app.Name(), app.LongName(), ar.Name)
+	}
 	plan, err := locality.Optimize(app, ar)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		base, err := engine.Run(engine.DefaultConfig(ar), app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := engine.Run(engine.DefaultConfig(ar), plan.Clustered)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := api.Encode(os.Stdout, api.OptimizeResponseFrom(app, ar, plan, base, opt)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	a := plan.Analysis
 	fmt.Printf("  reuse quantification:   %s\n", a.Quant)

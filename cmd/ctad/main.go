@@ -1,0 +1,90 @@
+// Command ctad is the CTA-clustering simulation daemon: a long-running
+// HTTP/JSON service over the simulation engine with a bounded worker
+// pool, a content-addressed result cache (deterministic runs are
+// memoized), singleflight dedup of identical concurrent requests, and
+// per-request deadlines with cancellation plumbed into the engine.
+//
+// Usage:
+//
+//	ctad                          # serve on :8321
+//	ctad -addr 127.0.0.1:9000     # explicit listen address
+//	ctad -workers 4 -parallel 8   # 4 concurrent requests, 8 sims each
+//	ctad -cache-mb 256            # larger result cache
+//
+// Endpoints: POST /v1/simulate, /v1/sweep, /v1/optimize; GET /v1/table1,
+// /v1/table2, /healthz, /metrics. See README "Serving" for a curl
+// walkthrough. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ctacluster/internal/cli"
+	"ctacluster/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ctad: ")
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", 2, "concurrent requests executing simulations")
+	maxQueue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
+	parallel := flag.Int("parallel", 0, "simulations in flight per sweep (0 = one per CPU)")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache size in MiB")
+	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Minute, "clamp on client-requested deadlines")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown drain period for in-flight requests")
+	quiet := flag.Bool("q", false, "suppress per-request logging")
+	flag.Parse()
+
+	parallelism, err := cli.Parallelism(*parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := server.Config{
+		Workers:        *workers,
+		MaxQueue:       *maxQueue,
+		Parallelism:    parallelism,
+		CacheBytes:     *cacheMB << 20,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(cfg).Handler()}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then drain —
+	// queued and in-flight requests get up to -grace to flush their
+	// responses before the listener is torn down.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down, draining for up to %v", *grace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		done <- srv.Shutdown(drainCtx)
+	}()
+
+	log.Printf("serving on %s (workers=%d queue=%d parallel=%d cache=%dMiB)",
+		*addr, *workers, *maxQueue, parallelism, *cacheMB)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -11,10 +11,16 @@
 //	evaluate -quick              # skip the throttle sweep
 //	evaluate -csv DIR            # additionally write CSV files to DIR
 //	evaluate -parallel 8         # fan the sweep out over 8 workers
+//	evaluate -json               # machine-readable output (ctad schema)
 //
 // Unknown -arch or -apps names are an error (non-zero exit), never a
 // silent skip. -parallel 0 (the default) uses one worker per CPU;
 // results are byte-identical for every parallelism setting.
+//
+// -json renders the internal/api response structs the ctad daemon
+// serves, so scripts can consume CLI and HTTP output with one decoder:
+// the sweep becomes one api.SweepResponse document; -table1/-table2
+// become an array of api.TableResponse documents.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ctacluster/internal/api"
 	"ctacluster/internal/arch"
 	"ctacluster/internal/cli"
 	"ctacluster/internal/eval"
@@ -42,10 +49,24 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
 
 	if *table1 || *table2 {
+		if *jsonOut {
+			var tables []api.TableResponse
+			if *table1 {
+				tables = append(tables, api.TableResponseFrom(report.Table1(arch.All())))
+			}
+			if *table2 {
+				tables = append(tables, api.TableResponseFrom(report.Table2(workloads.Table2())))
+			}
+			if err := api.Encode(os.Stdout, tables); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if *table1 {
 			report.Table1(arch.All()).Write(os.Stdout)
 			fmt.Println()
@@ -78,6 +99,12 @@ func main() {
 	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := api.Encode(os.Stdout, api.SweepResponseFrom(sweep)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	for _, pr := range sweep {
 		ar, results := pr.Arch, pr.Results

@@ -1,0 +1,30 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Marshal renders v in the canonical wire form: two-space-indented JSON
+// with a trailing newline. encoding/json emits struct fields in
+// declaration order, sorts map keys, and prints floats in their
+// shortest round-trip form, so equal values always produce equal bytes
+// — the property the daemon's byte-level result cache and the CLI
+// golden tests both rely on.
+func Marshal(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Encode writes the canonical form of v to w.
+func Encode(w io.Writer, v any) error {
+	b, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -9,6 +9,7 @@ package cli
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 
 	"ctacluster/internal/arch"
@@ -91,11 +92,15 @@ func Parallelism(n int) (int, error) {
 	return n, nil
 }
 
+// platformNames lists every resolvable platform name, sorted, so the
+// unknown-platform error reads as a stable reference list rather than
+// whatever order the descriptors happen to be registered in.
 func platformNames() []string {
 	var out []string
 	for _, a := range arch.All() {
 		out = append(out, a.Name)
 	}
 	out = append(out, arch.GTX750Ti().Name)
+	sort.Strings(out)
 	return out
 }

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"sort"
 	"strings"
 	"testing"
+
+	"ctacluster/internal/workloads"
 )
 
 func TestPlatforms(t *testing.T) {
@@ -179,5 +182,36 @@ func TestParallelism(t *testing.T) {
 		if got != tt.want {
 			t.Fatalf("Parallelism(%d) = %d, want %d", tt.arg, got, tt.want)
 		}
+	}
+}
+
+// TestUnknownNameErrorsListSortedOptions pins the satellite contract:
+// unknown-platform and unknown-app errors enumerate every valid name in
+// sorted order, so the user never has to guess.
+func TestUnknownNameErrorsListSortedOptions(t *testing.T) {
+	_, err := Platform("nope")
+	if err == nil {
+		t.Fatal("Platform(nope) succeeded")
+	}
+	const wantPlatforms = "GTX1080, GTX570, GTX750Ti, GTX980, TeslaK40"
+	if !strings.Contains(err.Error(), wantPlatforms) {
+		t.Fatalf("Platform error = %q, want sorted list %q", err, wantPlatforms)
+	}
+
+	_, err = App("nope")
+	if err == nil {
+		t.Fatal("App(nope) succeeded")
+	}
+	names := workloads.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("workloads.Names() not sorted: %v", names)
+	}
+	if !strings.Contains(err.Error(), strings.Join(names, ", ")) {
+		t.Fatalf("App error = %q, want the full sorted app list", err)
+	}
+	// Pin a stable prefix of the sorted order explicitly, so a registry
+	// or sorting regression is caught even if both sides change together.
+	if !strings.Contains(err.Error(), "known: 3CV, ATX, BC, BFS") {
+		t.Fatalf("App error = %q, want it to start with the sorted prefix 3CV, ATX, BC, BFS", err)
 	}
 }

@@ -19,9 +19,9 @@ func FuzzPartitionRoundTrip(f *testing.F) {
 	f.Add(16, 16, 16)
 	f.Add(240, 1, 15)
 	f.Add(1, 1, 1)
-	f.Add(7, 1, 20)   // fewer CTAs than clusters
-	f.Add(20, 1, 20)  // exactly one CTA per cluster
-	f.Add(33, 3, 16)  // ragged remainder
+	f.Add(7, 1, 20)  // fewer CTAs than clusters
+	f.Add(20, 1, 20) // exactly one CTA per cluster
+	f.Add(33, 3, 16) // ragged remainder
 	f.Add(512, 1, 5)
 
 	f.Fuzz(func(t *testing.T, gx, gy, m int) {

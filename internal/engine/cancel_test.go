@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// heavyKernel returns a kernel with enough CTAs and memory work that a
+// full run takes a macroscopic amount of wall time, so the prompt-return
+// assertions below are meaningful.
+func heavyKernel(ctas int) *testKernel {
+	return simpleKernel(ctas, 4, func(l kernel.Launch, w int) []kernel.Op {
+		ops := make([]kernel.Op, 0, 64)
+		for i := 0; i < 32; i++ {
+			ops = append(ops,
+				kernel.Compute(20),
+				kernel.Load(uint64(0x10000+(l.CTA*64+w*16+i)*128), 4, 32, 4))
+		}
+		return ops
+	})
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, DefaultConfig(arch.TeslaK40()), heavyKernel(64))
+	if res != nil {
+		t.Fatalf("cancelled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var err error
+	start := time.Now()
+	go func() {
+		defer close(done)
+		_, err = RunContext(ctx, DefaultConfig(arch.TeslaK40()), heavyKernel(4096))
+	}()
+	// Give the simulation a head start so cancellation lands mid-run,
+	// then require a prompt return.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return within 10s of cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_ = start
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, DefaultConfig(arch.TeslaK40()), heavyKernel(1<<16))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextBackgroundIdentical pins that plumbing a never-cancelled
+// context changes nothing: Run and RunContext(Background) produce
+// deep-equal results.
+func TestRunContextBackgroundIdentical(t *testing.T) {
+	ar := arch.GTX980()
+	k := heavyKernel(64)
+	a, err := Run(DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), DefaultConfig(ar), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.L2ReadTransactions() != b.L2ReadTransactions() ||
+		a.L1.HitRate() != b.L1.HitRate() || a.AchievedOccupancy != b.AchievedOccupancy {
+		t.Fatalf("Run and RunContext(Background) diverge: %+v vs %+v", a, b)
+	}
+}

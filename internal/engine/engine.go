@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -175,11 +176,33 @@ type sim struct {
 	snapEvery int64 // counter-snapshot period in cycles; 0 = off
 	nextSnap  int64
 
+	// cancellation (nil context.Background() when unused)
+	ctx       context.Context
+	cancelled error // sticky ctx.Err(), checked at dispatch boundaries
+	evCount   int64 // events since the last periodic ctx poll
+
 	now int64
 }
 
-// Run simulates k to completion under cfg and returns the results.
+// Run simulates k to completion under cfg and returns the results. It
+// is RunContext with an uncancellable context.
 func Run(cfg Config, k kernel.Kernel) (*Result, error) {
+	return RunContext(context.Background(), cfg, k)
+}
+
+// RunContext simulates k to completion under cfg, honouring ctx. The
+// context is polled at every CTA-dispatch boundary and every
+// ctxPollEvents simulation events, so a cancelled or expired context
+// stops the run promptly — even mid-CTA — with an error wrapping
+// ctx.Err(). The partial simulation state is discarded: a cancelled run
+// returns no Result.
+func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: kernel %s cancelled before start: %w", k.Name(), err)
+	}
 	if cfg.Arch == nil {
 		return nil, fmt.Errorf("engine: nil architecture")
 	}
@@ -208,6 +231,7 @@ func Run(cfg Config, k kernel.Kernel) (*Result, error) {
 
 	s := &sim{
 		cfg:         cfg,
+		ctx:         ctx,
 		ar:          ar,
 		pol:         pol,
 		kern:        k,
@@ -301,18 +325,55 @@ func (s *sim) result() *Result {
 
 const defaultMaxCycles = int64(1) << 33
 
+// ctxPollEvents bounds how many simulation events may elapse between
+// context polls inside one CTA, keeping cancellation prompt even for
+// kernels whose CTAs run for millions of cycles. Context polls also
+// happen at every CTA-dispatch boundary (see sm.go dispatchTo).
+const ctxPollEvents = 4096
+
+// pollCtx samples the run context, latching its error. It returns true
+// once the run is cancelled; the latch keeps every later check a single
+// pointer comparison.
+func (s *sim) pollCtx() bool {
+	if s.cancelled != nil {
+		return true
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.cancelled = err
+		return true
+	}
+	return false
+}
+
+// cancelErr wraps the latched context error with run position so
+// callers can both report where the simulation stopped and unwrap
+// context.Canceled / DeadlineExceeded with errors.Is.
+func (s *sim) cancelErr() error {
+	return fmt.Errorf("engine: kernel %s cancelled at cycle %d (%d of %d CTAs dispatched): %w",
+		s.kern.Name(), s.now, s.dispatched, s.totalCTAs, s.cancelled)
+}
+
 func (s *sim) loop() error {
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
 	}
 	for {
+		if s.cancelled != nil {
+			return s.cancelErr()
+		}
 		ev, ok := s.sched.next()
 		if !ok {
 			break
 		}
 		if ev.at > maxCycles {
 			return fmt.Errorf("engine: kernel %s exceeded %d cycles", s.kern.Name(), maxCycles)
+		}
+		if s.evCount++; s.evCount >= ctxPollEvents {
+			s.evCount = 0
+			if s.pollCtx() {
+				return s.cancelErr()
+			}
 		}
 		if ev.at > s.now {
 			s.now = ev.at

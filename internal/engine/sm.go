@@ -56,8 +56,13 @@ func (s *sim) firstWave() {
 }
 
 // dispatchTo places the next CTA (in policy order) onto sm at slot,
-// starting at time at.
+// starting at time at. A cancelled run context stops dispatching here —
+// the CTA boundary — leaving the remaining CTAs unconsumed; the event
+// loop then surfaces the cancellation.
 func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
+	if s.pollCtx() {
+		return
+	}
 	id := s.order[s.nextCTA]
 	s.nextCTA++
 	s.dispatched++

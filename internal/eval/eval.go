@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -134,6 +135,12 @@ func throttleCandidates(max int) []int {
 
 // Options tunes an evaluation run.
 type Options struct {
+	// Ctx cancels an in-flight evaluation. Every simulation the sweep
+	// launches runs under it (engine.RunContext polls it at CTA-dispatch
+	// boundaries), so a cancelled or expired context makes the whole
+	// sweep return promptly with an error wrapping ctx.Err(). nil means
+	// context.Background() — never cancelled.
+	Ctx  context.Context
 	Seed int64
 	// Quick skips the throttle sweep (CLUTOT = CLU) for fast smoke runs.
 	Quick bool
@@ -149,6 +156,14 @@ type Options struct {
 	// ProfileInterval is the counter-snapshot period in cycles for
 	// profiled sweeps; 0 means DefaultProfileInterval.
 	ProfileInterval int64
+}
+
+// context returns the run context, defaulting to Background.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // EvaluateApp runs the full scheme matrix for one application on one
@@ -173,6 +188,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 	// parks the result (or the scheme-labelled error) in its own slots.
 	// Profiled sweeps attach a per-job trace and dump it on completion;
 	// each job writes its own distinct files.
+	ctx := opt.context()
 	sim := func(k kernel.Kernel, dst **engine.Result, slot *error, label string) func() {
 		return func() {
 			runCfg := cfg
@@ -181,7 +197,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 				tr = newProfileTrace(ar, app, label, opt)
 				runCfg.Profiler = tr
 			}
-			r, err := engine.Run(runCfg, k)
+			r, err := engine.RunContext(ctx, runCfg, k)
 			if err != nil {
 				*slot = fmt.Errorf("eval %s/%s %s: %w", app.Name(), ar.Name, label, err)
 				return

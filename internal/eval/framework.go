@@ -62,12 +62,17 @@ func (a *FrameworkAccuracy) DirectionRate() float64 {
 // hit counts are accumulated in input order, so the result is identical
 // to a serial run.
 func EvaluateFramework(ar *arch.Arch, apps []*workloads.App, opt Options) (*FrameworkAccuracy, error) {
+	ctx := opt.context()
 	analyses := make([]*locality.Analysis, len(apps))
 	errs := make([]error, len(apps))
 	jobs := make([]func(), len(apps))
 	for i, app := range apps {
 		i, app := i, app
 		jobs[i] = func() {
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("eval: framework on %s cancelled: %w", app.Name(), err)
+				return
+			}
 			an, err := locality.Analyze(app, ar)
 			if err != nil {
 				errs[i] = fmt.Errorf("eval: framework on %s: %w", app.Name(), err)

@@ -142,11 +142,15 @@ func evaluateMatrix(rn *runner, platforms []*arch.Arch, apps []*workloads.App, o
 		progressMu.Unlock()
 	}
 
+	ctx := opt.context()
 	if rn.serial() {
 		// Serial path: run in order, stop at the first error — exactly
 		// the historical behaviour.
 		for pi, ar := range platforms {
 			for ai, app := range apps {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("eval: sweep cancelled: %w", err)
+				}
 				note(app, ar)
 				r, err := evaluateApp(ar, app, opt, rn)
 				if err != nil {

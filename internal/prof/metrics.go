@@ -50,6 +50,19 @@ func (m Metrics) Rows() [][2]string {
 	}
 }
 
+// CounterNames returns the fixed list of nvprof-style counter names the
+// exporter emits, in presentation order. The ctad daemon publishes this
+// list on /metrics so dashboards can discover the per-run metric schema
+// without parsing a CSV.
+func CounterNames() []string {
+	rows := Metrics{}.Rows()
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0]
+	}
+	return out
+}
+
 // WriteMetricsCSV renders the metrics as a two-column CSV table
 // (metric,value) in the fixed Rows order. Floats use the shortest
 // exact representation, so output is byte-identical across runs.

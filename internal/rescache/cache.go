@@ -1,0 +1,125 @@
+package rescache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the cache counters the daemon's
+// /metrics endpoint exports.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// Cache is a thread-safe LRU byte cache bounded by total payload bytes
+// and entry count. Values are treated as immutable: callers must not
+// mutate a slice after Put or the one returned by Get (the daemon
+// stores fully rendered response bodies, which are write-once).
+type Cache struct {
+	mu         sync.Mutex
+	maxBytes   int64
+	maxEntries int
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+
+	hits, misses, evictions uint64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New builds a cache bounded by maxBytes of payload and maxEntries
+// entries. Non-positive bounds fall back to defaults (64 MiB, 4096
+// entries) — a zero-value bound never means "unbounded" in a daemon.
+func New(maxBytes int64, maxEntries int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &Cache{
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks the entry most-recently-used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or refreshes an entry, evicting from the LRU tail until
+// both bounds hold. A value larger than the byte bound is not cached.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes || c.ll.Len() > c.maxEntries {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the LRU tail entry. Callers hold c.mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.val))
+	c.evictions++
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,142 @@
+// Package client is the Go client for the ctad daemon. It speaks the
+// internal/api schema over HTTP/JSON; the daemon's end-to-end tests are
+// its first consumer.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ctacluster/internal/api"
+)
+
+// Client talks to one ctad daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs one request and returns the raw body plus the cache
+// disposition header ("hit", "miss", "dedup" or ""). Non-2xx responses
+// decode the uniform error body into an error.
+func (c *Client) do(ctx context.Context, method, path string, reqBody any) (body []byte, disposition string, err error) {
+	var rd io.Reader
+	if reqBody != nil {
+		b, err := json.Marshal(reqBody)
+		if err != nil {
+			return nil, "", err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, "", err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	disposition = resp.Header.Get("X-Ctad-Cache")
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, disposition, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return nil, disposition, fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	return body, disposition, nil
+}
+
+func get[T any](c *Client, ctx context.Context, path string) (*T, error) {
+	body, _, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out T
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &out, nil
+}
+
+func post[T any](c *Client, ctx context.Context, path string, req any) (*T, error) {
+	body, _, err := c.do(ctx, http.MethodPost, path, req)
+	if err != nil {
+		return nil, err
+	}
+	var out T
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &out, nil
+}
+
+// Simulate runs (or fetches) one simulation.
+func (c *Client) Simulate(ctx context.Context, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	return post[api.SimulateResponse](c, ctx, "/v1/simulate", req)
+}
+
+// SimulateRaw is Simulate returning the raw response bytes and cache
+// disposition — the end-to-end tests assert byte identity with it.
+func (c *Client) SimulateRaw(ctx context.Context, req api.SimulateRequest) ([]byte, string, error) {
+	return c.do(ctx, http.MethodPost, "/v1/simulate", req)
+}
+
+// Sweep runs (or fetches) a full evaluation sweep.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	return post[api.SweepResponse](c, ctx, "/v1/sweep", req)
+}
+
+// SweepRaw is Sweep returning raw bytes and cache disposition.
+func (c *Client) SweepRaw(ctx context.Context, req api.SweepRequest) ([]byte, string, error) {
+	return c.do(ctx, http.MethodPost, "/v1/sweep", req)
+}
+
+// Optimize runs the Section 4.4 framework on one app.
+func (c *Client) Optimize(ctx context.Context, req api.OptimizeRequest) (*api.OptimizeResponse, error) {
+	return post[api.OptimizeResponse](c, ctx, "/v1/optimize", req)
+}
+
+// Table1 fetches the platform table.
+func (c *Client) Table1(ctx context.Context) (*api.TableResponse, error) {
+	return get[api.TableResponse](c, ctx, "/v1/table1")
+}
+
+// Table2 fetches the benchmark table.
+func (c *Client) Table2(ctx context.Context) (*api.TableResponse, error) {
+	return get[api.TableResponse](c, ctx, "/v1/table2")
+}
+
+// Metrics fetches the daemon counters.
+func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
+	return get[api.MetricsResponse](c, ctx, "/metrics")
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	return get[api.HealthResponse](c, ctx, "/healthz")
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ctacluster/internal/api"
+)
+
+// errBusy is returned when the wait queue is at capacity; handlers map
+// it to 503 so load-shedding is explicit rather than an unbounded pile
+// of goroutines.
+var errBusy = errors.New("server busy: wait queue full")
+
+// queue is the daemon's bounded worker pool: Workers requests may hold
+// a simulation slot concurrently, up to maxWait more may wait for one,
+// and everything beyond that is rejected. Waiting is cancellable — a
+// request whose context dies while queued leaves without ever holding a
+// worker.
+type queue struct {
+	sem     chan struct{}
+	maxWait int
+
+	mu         sync.Mutex
+	waiting    int
+	active     int
+	completed  uint64
+	cancelled  uint64
+	rejected   uint64
+	executions uint64
+}
+
+func newQueue(workers, maxWait int) *queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &queue{sem: make(chan struct{}, workers), maxWait: maxWait}
+}
+
+// acquire blocks until a worker slot is free or ctx dies. It returns
+// errBusy immediately when the wait queue is full.
+func (q *queue) acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.waiting >= q.maxWait {
+		// Fast path: a free worker means no real wait even at maxWait 0.
+		select {
+		case q.sem <- struct{}{}:
+			q.active++
+			q.mu.Unlock()
+			return nil
+		default:
+		}
+		q.rejected++
+		q.mu.Unlock()
+		return fmt.Errorf("%w (%d waiting)", errBusy, q.maxWait)
+	}
+	q.waiting++
+	q.mu.Unlock()
+
+	select {
+	case q.sem <- struct{}{}:
+		q.mu.Lock()
+		q.waiting--
+		q.active++
+		q.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		q.waiting--
+		q.cancelled++
+		q.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees the worker slot, classifying the run outcome: jobs
+// stopped by their context count as cancelled, everything else as
+// completed. The cancellation acceptance test polls these counters to
+// verify an abandoned sweep actually frees its worker.
+func (q *queue) release(err error) {
+	<-q.sem
+	q.mu.Lock()
+	q.active--
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		q.cancelled++
+	} else {
+		q.completed++
+	}
+	q.mu.Unlock()
+}
+
+// noteExecution counts one underlying computation (a singleflight
+// leader that actually ran simulations — not a cache hit, not a joined
+// duplicate).
+func (q *queue) noteExecution() {
+	q.mu.Lock()
+	q.executions++
+	q.mu.Unlock()
+}
+
+// stats snapshots the pool counters for /metrics.
+func (q *queue) stats() api.QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return api.QueueStats{
+		Workers:    cap(q.sem),
+		Active:     q.active,
+		Waiting:    q.waiting,
+		Completed:  q.completed,
+		Cancelled:  q.cancelled,
+		Rejected:   q.rejected,
+		Executions: q.executions,
+	}
+}

@@ -1,0 +1,405 @@
+// Package server implements ctad, the concurrent simulation-serving
+// daemon: an HTTP/JSON front end over the simulation engine with a
+// bounded worker pool, per-request deadlines and cancellation plumbed
+// down to CTA-dispatch boundaries (engine.RunContext), a
+// content-addressed result cache keyed by the canonical hash of
+// (arch, app, scheme, engine.Config), and singleflight dedup so N
+// identical concurrent requests cost one simulation.
+//
+// Memoization is sound because runs are deterministic: for a fixed key
+// the engine produces bit-identical results, and internal/api renders
+// them to canonical bytes — a warm response is byte-identical to the
+// cold one that populated it (DESIGN.md §8).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ctacluster/internal/api"
+	"ctacluster/internal/arch"
+	"ctacluster/internal/cli"
+	"ctacluster/internal/core"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/eval"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/locality"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/report"
+	"ctacluster/internal/rescache"
+	"ctacluster/internal/workloads"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds requests executing simulations concurrently
+	// (default 2). Each sweep additionally fans its own simulations out
+	// over Parallelism engine workers.
+	Workers int
+	// MaxQueue bounds requests waiting for a worker; beyond it the
+	// daemon sheds load with 503. Zero means the default (64); negative
+	// means no waiting at all — every request must find a free worker.
+	MaxQueue int
+	// Parallelism is the per-sweep engine worker count (eval.Options
+	// .Parallelism; default 0 = one per CPU). It never enters cache
+	// keys: sweep results are byte-identical for every setting.
+	Parallelism int
+	// CacheBytes / CacheEntries bound the result cache (defaults in
+	// rescache.New).
+	CacheBytes   int64
+	CacheEntries int
+	// DefaultTimeout caps requests that carry no timeout_ms (default
+	// 5m); MaxTimeout clamps client-requested deadlines (default 30m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logf receives one line per served request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state. Create with New; serve via Handler.
+type Server struct {
+	cfg     Config
+	start   time.Time
+	cache   *rescache.Cache
+	flights rescache.Group
+	queue   *queue
+	mux     *http.ServeMux
+}
+
+// New builds a daemon with cfg, applying defaults to zero fields.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	} else if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Minute
+	}
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		cache: rescache.New(cfg.CacheBytes, cfg.CacheEntries),
+		queue: newQueue(cfg.Workers, cfg.MaxQueue),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/table1", s.handleTable1)
+	mux.HandleFunc("GET /v1/table2", s.handleTable2)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// timeout resolves a request's effective deadline.
+func (s *Server) timeout(reqMS int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if reqMS > 0 {
+		d = time.Duration(reqMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// writeJSON serves canonical bytes with the cache-disposition header
+// ("hit", "miss" or "dedup") — the header, not the body, carries cache
+// status so warm and cold bodies stay byte-identical.
+func writeJSON(w http.ResponseWriter, status int, disposition string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if disposition != "" {
+		w.Header().Set("X-Ctad-Cache", disposition)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// fail renders the uniform error body with the right status.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	body, mErr := api.Marshal(api.ErrorResponse{Error: err.Error()})
+	if mErr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, status, "", body)
+}
+
+// failFor maps an error to its transport status: bad input is 400,
+// shed load 503, an expired deadline 504, everything else 500.
+func (s *Server) failFor(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the log's benefit.
+		s.fail(w, http.StatusServiceUnavailable, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+// decode parses a JSON request body strictly.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// compute is the serving core every expensive endpoint shares: result
+// cache, then singleflight, then the bounded worker pool, then fn. fn
+// runs under the leader's request context bounded by the effective
+// deadline and must return canonical bytes.
+func (s *Server) compute(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, fn func(ctx context.Context) ([]byte, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, "hit", body)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+	defer cancel()
+
+	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
+		if err := s.queue.acquire(ctx); err != nil {
+			return nil, err
+		}
+		var runErr error
+		defer func() { s.queue.release(runErr) }()
+		s.queue.noteExecution()
+		var out []byte
+		out, runErr = fn(ctx)
+		return out, runErr
+	})
+	if err != nil {
+		s.failFor(w, err)
+		return
+	}
+	s.cache.Put(key, body)
+	disposition := "miss"
+	if shared {
+		disposition = "dedup"
+	}
+	writeJSON(w, http.StatusOK, disposition, body)
+}
+
+// schemeKernel builds the kernel for a simulate request's scheme and
+// returns its canonical scheme label.
+func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch) (kernel.Kernel, string, error) {
+	scheme := strings.ToUpper(strings.TrimSpace(req.Scheme))
+	if scheme == "" {
+		scheme = "BSL"
+	}
+	if scheme != "CLU" && (req.Agents != 0 || req.Bypass || req.Prefetch) {
+		return nil, "", fmt.Errorf("agents/bypass/prefetch only apply to scheme CLU, got %s", scheme)
+	}
+	switch scheme {
+	case "BSL":
+		return app, scheme, nil
+	case "RD":
+		k, err := core.Redirect(app, ar.SMs, app.Partition(), nil)
+		return k, scheme, err
+	case "CLU":
+		k, err := core.NewAgent(app, core.AgentConfig{
+			Arch: ar, Indexing: app.Partition(),
+			ActiveAgents: req.Agents, Bypass: req.Bypass, Prefetch: req.Prefetch,
+		})
+		return k, scheme, err
+	default:
+		return nil, "", fmt.Errorf("unknown scheme %q (known: BSL, RD, CLU)", req.Scheme)
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req api.SimulateRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	app, err := cli.App(req.App)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ar, err := cli.Platform(req.Arch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	k, scheme, err := schemeKernel(req, app, ar)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := engine.DefaultConfig(ar)
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.MaxCycles > 0 {
+		cfg.MaxCycles = req.MaxCycles
+	}
+	kernelID := fmt.Sprintf("%s/%s/agents=%d/bypass=%t/prefetch=%t",
+		app.Name(), scheme, req.Agents, req.Bypass, req.Prefetch)
+	key := rescache.ConfigKey(kernelID, cfg)
+
+	start := time.Now()
+	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		res, err := engine.RunContext(ctx, cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		return api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, scheme, res))
+	})
+	s.logf("simulate %s in %v", kernelID, time.Since(start))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	platforms, err := cli.Platforms(req.Arch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	apps, err := cli.Apps(strings.Join(req.Apps, ","))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The sweep key covers the full platform descriptors, the canonical
+	// app list and every option that feeds the simulations. Parallelism
+	// is deliberately excluded (results are byte-identical for any
+	// worker count — the determinism goldens pin this).
+	kb := rescache.NewKey("sweep/v1")
+	for _, ar := range platforms {
+		kb.Arch(ar)
+	}
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name()
+	}
+	kb.Strs(names).Bool(req.Quick).Int(req.Seed)
+	key := kb.Sum()
+
+	start := time.Now()
+	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		opt := eval.Options{
+			Ctx:         ctx,
+			Seed:        req.Seed,
+			Quick:       req.Quick,
+			Parallelism: s.cfg.Parallelism,
+		}
+		sweep, err := eval.EvaluateAll(platforms, apps, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return api.Marshal(api.SweepResponseFrom(sweep))
+	})
+	s.logf("sweep %d platforms x %d apps in %v", len(platforms), len(apps), time.Since(start))
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req api.OptimizeRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	app, err := cli.App(req.App)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ar, err := cli.Platform(req.Arch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key := rescache.NewKey("optimize/v1").Str(app.Name()).Arch(ar).Sum()
+
+	start := time.Now()
+	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		plan, err := locality.Optimize(app, ar)
+		if err != nil {
+			return nil, err
+		}
+		base, err := engine.RunContext(ctx, engine.DefaultConfig(ar), app)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := engine.RunContext(ctx, engine.DefaultConfig(ar), plan.Clustered)
+		if err != nil {
+			return nil, err
+		}
+		return api.Marshal(api.OptimizeResponseFrom(app, ar, plan, base, opt))
+	})
+	s.logf("optimize %s on %s in %v", app.Name(), ar.Name, time.Since(start))
+}
+
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	s.serveStatic(w, api.TableResponseFrom(report.Table1(arch.All())))
+}
+
+func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
+	s.serveStatic(w, api.TableResponseFrom(report.Table2(workloads.Table2())))
+}
+
+func (s *Server) serveStatic(w http.ResponseWriter, v any) {
+	body, err := api.Marshal(v)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, "", body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.serveStatic(w, api.HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	fs := s.flights.Stats()
+	s.serveStatic(w, api.MetricsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache: api.CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, Bytes: cs.Bytes, MaxBytes: cs.MaxBytes,
+		},
+		Singleflight: api.FlightStats{Leaders: fs.Leaders, Joined: fs.Joined, Inflight: fs.Inflight},
+		Queue:        s.queue.stats(),
+		ProfCounters: prof.CounterNames(),
+	})
+}

@@ -1,0 +1,394 @@
+package server_test
+
+// End-to-end daemon tests: a real HTTP server on an ephemeral port,
+// driven through the Go client. These pin the PR's acceptance criteria:
+// cold and warm responses are byte-identical, an identical concurrent
+// burst costs exactly one underlying simulation (singleflight), and a
+// cancelled or expired request frees its worker with the engine
+// stopping early. CI runs this file under -race (the `server` job).
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctacluster/internal/api"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/server"
+	"ctacluster/internal/server/client"
+)
+
+// newDaemon starts a daemon on an ephemeral port and returns its client.
+func newDaemon(t *testing.T, cfg server.Config) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+func TestColdWarmByteIdentical(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 2})
+	ctx := context.Background()
+	req := api.SimulateRequest{App: "MM", Arch: "TeslaK40"}
+
+	cold, disp, err := c.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "miss" {
+		t.Fatalf("cold disposition = %q, want miss", disp)
+	}
+	warm, disp, err := c.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "hit" {
+		t.Fatalf("warm disposition = %q, want hit", disp)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold and warm bodies differ:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 || m.Queue.Executions != 1 {
+		t.Fatalf("metrics after cold+warm = cache %+v queue %+v", m.Cache, m.Queue)
+	}
+
+	// Case-insensitive names resolve to the same cache entry.
+	aliased, disp, err := c.SimulateRaw(ctx, api.SimulateRequest{App: "mm", Arch: "teslak40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "hit" || !bytes.Equal(cold, aliased) {
+		t.Fatalf("aliased request missed the cache (disposition %q)", disp)
+	}
+}
+
+// TestConcurrentDedup is the 16-way acceptance criterion: identical
+// concurrent cold requests perform exactly one underlying engine run,
+// observed through the executions and singleflight counters.
+func TestConcurrentDedup(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 4})
+	ctx := context.Background()
+	req := api.SimulateRequest{App: "NN", Arch: "GTX980"}
+
+	const n = 16
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], _, errs[i] = c.SimulateRaw(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs from request 0", i)
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue.Executions != 1 {
+		t.Fatalf("16 identical concurrent requests ran %d simulations, want exactly 1 (singleflight %+v, cache %+v)",
+			m.Queue.Executions, m.Singleflight, m.Cache)
+	}
+	if m.Singleflight.Leaders != 1 {
+		t.Fatalf("singleflight leaders = %d, want 1 (%+v)", m.Singleflight.Leaders, m.Singleflight)
+	}
+	// Every non-leader either joined the flight or hit the cache after
+	// the leader populated it.
+	if got := m.Singleflight.Joined + m.Cache.Hits; got != n-1 {
+		t.Fatalf("joined (%d) + cache hits (%d) = %d, want %d",
+			m.Singleflight.Joined, m.Cache.Hits, got, n-1)
+	}
+}
+
+// waitForIdle polls /metrics until no worker is active.
+func waitForIdle(t *testing.T, c *client.Client, within time.Duration) *api.MetricsResponse {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Queue.Active == 0 && m.Queue.Waiting == 0 {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers still busy after %v: %+v", within, m.Queue)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSweepClientDisconnectFreesWorker is the cancellation acceptance
+// criterion: a sweep whose client goes away stops the engine early and
+// frees its worker.
+func TestSweepClientDisconnectFreesWorker(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1, Parallelism: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		// A full (non-quick) all-apps sweep on one platform: minutes of
+		// simulation if left alone.
+		_, err := c.Sweep(ctx, api.SweepRequest{Arch: "TeslaK40"})
+		errc <- err
+	}()
+
+	// Let the sweep occupy the worker, then disconnect the client.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Queue.Active == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never occupied the worker")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled sweep returned success")
+	}
+
+	m := waitForIdle(t, c, 30*time.Second)
+	if m.Queue.Cancelled == 0 {
+		t.Fatalf("cancelled counter = 0 after disconnect: %+v", m.Queue)
+	}
+	if m.Queue.Executions != 1 {
+		t.Fatalf("executions = %d, want 1", m.Queue.Executions)
+	}
+
+	// The daemon stays serviceable: the freed worker takes new work.
+	if _, err := c.Simulate(context.Background(), api.SimulateRequest{App: "MM", Arch: "TeslaK40"}); err != nil {
+		t.Fatalf("post-cancellation request failed: %v", err)
+	}
+}
+
+// TestSweepDeadlineExpires covers the server-side deadline: the request
+// fails with 504 and the worker frees promptly.
+func TestSweepDeadlineExpires(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1, Parallelism: 2})
+	_, err := c.Sweep(context.Background(), api.SweepRequest{Arch: "GTX1080", TimeoutMS: 100})
+	if err == nil {
+		t.Fatal("expired sweep returned success")
+	}
+	if !strings.Contains(err.Error(), "504") {
+		t.Fatalf("err = %v, want HTTP 504", err)
+	}
+	m := waitForIdle(t, c, 30*time.Second)
+	if m.Queue.Cancelled == 0 {
+		t.Fatalf("cancelled counter = 0 after deadline: %+v", m.Queue)
+	}
+}
+
+// TestQueueSheddingWhenFull: with one worker and no wait queue, a
+// second concurrent request is rejected with 503 instead of piling up.
+func TestQueueSheddingWhenFull(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1, MaxQueue: -1, Parallelism: 2})
+	// MaxQueue -1 is clamped to 0 waiters by the queue.
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Sweep(ctx, api.SweepRequest{Arch: "GTX570"})
+		errc <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Queue.Active == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never occupied the worker")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, err := c.Simulate(context.Background(), api.SimulateRequest{App: "MM", Arch: "GTX980"})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want HTTP 503 (server busy)", err)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue.Rejected == 0 {
+		t.Fatalf("rejected counter = 0: %+v", m.Queue)
+	}
+	cancel()
+	<-errc
+	waitForIdle(t, c, 30*time.Second)
+}
+
+func TestBadRequests(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1})
+	ctx := context.Background()
+
+	_, err := c.Simulate(ctx, api.SimulateRequest{App: "NOPE", Arch: "TeslaK40"})
+	if err == nil || !strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("unknown app err = %v, want 400 listing known apps", err)
+	}
+	_, err = c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "H100"})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown arch err = %v, want 400", err)
+	}
+	_, err = c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Scheme: "WAT"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("unknown scheme err = %v", err)
+	}
+	_, err = c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Scheme: "BSL", Agents: 2})
+	if err == nil || !strings.Contains(err.Error(), "only apply to scheme CLU") {
+		t.Fatalf("agents-on-BSL err = %v", err)
+	}
+}
+
+func TestTablesHealthMetricsEndpoints(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	t1, err := c.Table1(ctx)
+	if err != nil || len(t1.Rows) == 0 || !strings.Contains(t1.Title, "Table 1") {
+		t.Fatalf("table1 = %+v, %v", t1, err)
+	}
+	t2, err := c.Table2(ctx)
+	if err != nil || len(t2.Rows) == 0 {
+		t.Fatalf("table2 = %+v, %v", t2, err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.ProfCounters, prof.CounterNames()) {
+		t.Fatalf("prof counters = %v, want %v", m.ProfCounters, prof.CounterNames())
+	}
+	if m.Queue.Workers != 1 {
+		t.Fatalf("workers = %d, want 1", m.Queue.Workers)
+	}
+}
+
+// TestSimulateSchemesDiffer pins key separation end to end: BSL and CLU
+// of the same app are distinct cache entries with distinct results.
+func TestSimulateSchemesDiffer(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 2})
+	ctx := context.Background()
+	bsl, err := c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Scheme: "CLU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsl.Scheme != "BSL" || clu.Scheme != "CLU" {
+		t.Fatalf("schemes = %s, %s", bsl.Scheme, clu.Scheme)
+	}
+	if bsl.Cycles == clu.Cycles && bsl.L2ReadTransactions == clu.L2ReadTransactions {
+		t.Fatal("BSL and CLU produced identical results — key or kernel plumbing broken")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue.Executions != 2 || m.Cache.Entries != 2 {
+		t.Fatalf("metrics = queue %+v cache %+v, want 2 executions / 2 entries", m.Queue, m.Cache)
+	}
+}
+
+// TestOptimizeEndpoint exercises the framework route and its cache.
+func TestOptimizeEndpoint(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1})
+	ctx := context.Background()
+	resp, err := c.Optimize(ctx, api.OptimizeRequest{App: "MM", Arch: "TeslaK40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Speedup <= 0 || resp.Category == "" || resp.Optimized.Kernel == "" {
+		t.Fatalf("optimize response incomplete: %+v", resp)
+	}
+	again, err := c.Optimize(ctx, api.OptimizeRequest{App: "MM", Arch: "TeslaK40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, again) {
+		t.Fatal("cached optimize response differs")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue.Executions != 1 || m.Cache.Hits != 1 {
+		t.Fatalf("metrics = %+v %+v, want one execution + one hit", m.Queue, m.Cache)
+	}
+}
+
+// TestQuickSweepEndToEnd runs a small real sweep through the daemon and
+// checks the schema content.
+func TestQuickSweepEndToEnd(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1, Parallelism: 4})
+	ctx := context.Background()
+	resp, err := c.Sweep(ctx, api.SweepRequest{Arch: "TeslaK40", Apps: []string{"MM", "KMN"}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Platforms) != 1 || len(resp.Platforms[0].Results) != 2 {
+		t.Fatalf("sweep shape = %+v", resp)
+	}
+	p := resp.Platforms[0]
+	if p.Arch != "TeslaK40" || p.Generation != "Kepler" {
+		t.Fatalf("platform = %+v", p)
+	}
+	for _, r := range p.Results {
+		if len(r.Cells) == 0 || r.Cells[0].Scheme != "BSL" || r.Cells[0].Speedup != 1 {
+			t.Fatalf("result %s cells = %+v", r.App, r.Cells)
+		}
+	}
+	if len(p.GeoMean) == 0 {
+		t.Fatal("missing geomean")
+	}
+
+	// Warm repeat is a cache hit with identical bytes.
+	raw1, d1, err := c.SweepRaw(ctx, api.SweepRequest{Arch: "TeslaK40", Apps: []string{"MM", "KMN"}, Quick: true})
+	if err != nil || d1 != "hit" {
+		t.Fatalf("warm sweep disposition = %q, %v", d1, err)
+	}
+	raw2, err := api.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("warm sweep bytes differ from decoded cold response re-encoding")
+	}
+}
