@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet prof prof-golden server
+.PHONY: build test race fuzz bench vet prof prof-golden server docs-check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ bench:
 server:
 	$(GO) test -race ./internal/server/... ./internal/rescache ./internal/api
 	$(GO) test -race -run 'Cancel|Deadline|Context' ./internal/engine ./internal/eval
+
+# The docs gate the CI enforces: every internal/* and cmd/* package must
+# carry a package-level doc comment, and every flag that README.md or
+# EXPERIMENTS.md passes to one of this repo's commands must actually be
+# registered by that command (tools/docscheck).
+docs-check:
+	$(GO) run ./tools/docscheck
 
 # Regenerate the profiling exporter goldens (internal/prof/testdata)
 # after a deliberate format or simulation change; review the diff before

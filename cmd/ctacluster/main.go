@@ -9,13 +9,16 @@
 //	ctacluster -app MM -arch TeslaK40
 //	ctacluster -app MM -json
 //	ctacluster -all -parallel 8
+//	ctacluster -app MM -shards 4
 //	ctacluster -list
 //
 // Unknown -app or -arch names exit non-zero with the known names on
 // stderr. -parallel fans the -all categorization out over workers.
 // -json emits the analysis as one api.OptimizeResponse document — the
 // exact schema the ctad daemon's POST /v1/optimize returns — and
-// requires -app.
+// requires -app. -shards parallelizes inside each simulation
+// (engine.Config.Shards); all reported metrics are byte-identical to
+// the serial engine's at every setting.
 package main
 
 import (
@@ -40,8 +43,14 @@ func main() {
 	list := flag.Bool("list", false, "list available applications")
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
 	parallel := flag.Int("parallel", 0, "analyses in flight for -all (0 = one per CPU, 1 = serial)")
+	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
+
+	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *jsonOut && (*all || *list) {
 		log.Fatal("-json applies to the single-app analysis (-app); -all and -list have no JSON form")
@@ -56,7 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism})
+		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism, Shards: shards})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,12 +112,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	runCfg := engine.DefaultConfig(ar)
+	runCfg.Shards = shards
 	if *jsonOut {
-		base, err := engine.Run(engine.DefaultConfig(ar), app)
+		base, err := engine.Run(runCfg, app)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := engine.Run(engine.DefaultConfig(ar), plan.Clustered)
+		opt, err := engine.Run(runCfg, plan.Clustered)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,11 +139,11 @@ func main() {
 	fmt.Printf("  estimated category:     %s (ground truth: %s)\n", a.Category, app.Category())
 	fmt.Printf("  decision:               %s\n\n", plan.Description)
 
-	base, err := engine.Run(engine.DefaultConfig(ar), app)
+	base, err := engine.Run(runCfg, app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := engine.Run(engine.DefaultConfig(ar), plan.Clustered)
+	opt, err := engine.Run(runCfg, plan.Clustered)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,11 +9,21 @@
 //	ctad                          # serve on :8321
 //	ctad -addr 127.0.0.1:9000     # explicit listen address
 //	ctad -workers 4 -parallel 8   # 4 concurrent requests, 8 sims each
+//	ctad -shards 4                # shard each simulation across 4 goroutines
 //	ctad -cache-mb 256            # larger result cache
+//
+// -shards sets the default engine.Config.Shards for every simulation
+// the daemon runs (simulate requests may override it per request),
+// trading per-request latency against throughput; results and cache
+// keys are identical at every setting.
 //
 // Endpoints: POST /v1/simulate, /v1/sweep, /v1/optimize; GET /v1/table1,
 // /v1/table2, /healthz, /metrics. See README "Serving" for a curl
 // walkthrough. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Paper mapping: the endpoints expose the Section 5 evaluation and the
+// Figure 11 automatic-optimization decision; the daemon itself is
+// reproduction infrastructure beyond the paper's scope.
 package main
 
 import (
@@ -37,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent requests executing simulations")
 	maxQueue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
 	parallel := flag.Int("parallel", 0, "simulations in flight per sweep (0 = one per CPU)")
+	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache size in MiB")
 	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
@@ -49,10 +60,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxQueue:       *maxQueue,
 		Parallelism:    parallelism,
+		Shards:         shards,
 		CacheBytes:     *cacheMB << 20,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
@@ -78,8 +94,8 @@ func main() {
 		done <- srv.Shutdown(drainCtx)
 	}()
 
-	log.Printf("serving on %s (workers=%d queue=%d parallel=%d cache=%dMiB)",
-		*addr, *workers, *maxQueue, parallelism, *cacheMB)
+	log.Printf("serving on %s (workers=%d queue=%d parallel=%d shards=%d cache=%dMiB)",
+		*addr, *workers, *maxQueue, parallelism, shards, *cacheMB)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -13,9 +13,12 @@
 //	ctaprof -app ATX -arch GTX570 -scheme CLU -agents 2 -bypass
 //	ctaprof -app mm -arch teslak40 -events all      # every event class
 //	ctaprof -app mm -arch teslak40 -o /tmp/prof -interval 1024
+//	ctaprof -app mm -arch teslak40 -shards 4        # sharded engine, same bytes
 //
 // App and platform names match case-insensitively; unknown names are an
-// error (non-zero exit), never a silent skip.
+// error (non-zero exit), never a silent skip. -shards parallelizes the
+// simulation itself (engine.Config.Shards); the recorded trace and
+// metrics are byte-identical to the serial engine's at every setting.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	events := flag.String("events", "cta,stall", "event classes to trace: cta, stall, mem, cache, l2, all")
 	interval := flag.Int64("interval", 4096, "counter-snapshot period in cycles (0 = off)")
 	outDir := flag.String("o", ".", "output directory for the trace and metrics files")
+	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -87,8 +91,13 @@ func main() {
 		Kernel: app.Name(), Arch: ar.Name, Label: label, SMs: ar.SMs,
 		Events: mask, SampleInterval: *interval,
 	})
+	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := engine.DefaultConfig(ar)
 	cfg.Profiler = tr
+	cfg.Shards = shards
 	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)

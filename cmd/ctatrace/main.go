@@ -3,12 +3,15 @@
 // latencies, before and after clustering. It is the debugging companion
 // to cmd/ctacluster — when a clustering decision underperforms, the
 // trace shows whether the cause is placement, imbalance or latency.
+// The placement it prints is the CTA→SM binding of Section 4.2-(3);
+// the per-SM latency summaries mirror the Figure 2 access-cycle view.
 //
 // Usage:
 //
 //	ctatrace -app ATX -arch GTX570            # baseline placement
 //	ctatrace -app ATX -arch GTX570 -clustered # agent-based clustering
 //	ctatrace -app ATX -arch GTX570 -sm 0      # one SM's timeline
+//	ctatrace -app ATX -arch GTX570 -shards 4  # sharded engine, same trace
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	clustered := flag.Bool("clustered", false, "trace the agent-clustered kernel instead of the baseline")
 	agents := flag.Int("agents", 0, "active agents per SM when -clustered (0 = max)")
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
+	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -52,7 +56,13 @@ func main() {
 		k = ag
 	}
 
-	res, err := engine.Run(engine.DefaultConfig(ar), k)
+	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := engine.DefaultConfig(ar)
+	cfg.Shards = shards
+	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,11 +11,14 @@
 //	evaluate -quick              # skip the throttle sweep
 //	evaluate -csv DIR            # additionally write CSV files to DIR
 //	evaluate -parallel 8         # fan the sweep out over 8 workers
+//	evaluate -shards 4           # shard each simulation across 4 goroutines
 //	evaluate -json               # machine-readable output (ctad schema)
 //
 // Unknown -arch or -apps names are an error (non-zero exit), never a
 // silent skip. -parallel 0 (the default) uses one worker per CPU;
-// results are byte-identical for every parallelism setting.
+// -shards parallelizes inside each simulation (engine.Config.Shards;
+// default 1 = serial engine, 0 = one shard per CPU); results are
+// byte-identical for every parallelism and shard setting.
 //
 // -json renders the internal/api response structs the ctad daemon
 // serves, so scripts can consume CLI and HTTP output with one decoder:
@@ -49,6 +52,7 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
+	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
@@ -89,13 +93,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	progress := func(string) {}
 	if *verbose {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
 	}
 
-	opt := eval.Options{Quick: *quick, Parallelism: parallelism}
+	opt := eval.Options{Quick: *quick, Parallelism: parallelism, Shards: shards}
 	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
 	if err != nil {
 		log.Fatal(err)

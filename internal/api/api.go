@@ -4,6 +4,11 @@
 // deterministic encoder, so a script consuming one can consume the
 // other unchanged, and the daemon's byte-level response cache stays
 // sound (equal inputs → equal bytes).
+//
+// Paper mapping: the payloads are the wire form of the evaluation
+// artifacts — Table 1/Table 2 rows and the Figure 12/13 metric series
+// of Section 5; the schema itself is reproduction infrastructure beyond
+// the paper's scope.
 package api
 
 // SimulateRequest asks for one simulation: an application under one
@@ -24,6 +29,12 @@ type SimulateRequest struct {
 	// TimeoutMS bounds the request server-side; 0 means the daemon's
 	// default deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shards asks the engine to parallelize this single run across that
+	// many lockstep SM shards (engine.Config.Shards), trading CPU for
+	// latency; 0 means the daemon's configured default. Results — and
+	// therefore cache keys and response bytes — are identical at every
+	// setting, so cached entries are shared across shard counts.
+	Shards int `json:"shards,omitempty"`
 }
 
 // MetricRow is one nvprof-style counter (internal/prof names).

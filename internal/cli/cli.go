@@ -4,6 +4,10 @@
 // resolution guarantees every tool fails the same way — a clear message
 // on stderr and a non-zero exit — on an unknown name instead of
 // silently skipping it, and makes the parsing unit-testable.
+//
+// Paper mapping: the names it resolves are the paper's own — Table 1
+// platform names and Table 2 application abbreviations; the resolution
+// logic is reproduction infrastructure beyond the paper's scope.
 package cli
 
 import (
@@ -85,6 +89,23 @@ func App(name string) (*workloads.App, error) {
 func Parallelism(n int) (int, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("-parallel must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}
+
+// Shards resolves the -shards flag controlling intra-run engine
+// sharding (engine.Config.Shards): 1 — the flag default — keeps the
+// serial reference engine; 0 asks for one shard per available CPU
+// (GOMAXPROCS); larger values pass through (the engine clamps to the
+// platform's SM count); negative values are an error. Results are
+// byte-identical at every setting, so the choice only trades CPU for
+// single-run latency.
+func Shards(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-shards must be >= 0, got %d", n)
 	}
 	if n == 0 {
 		return runtime.GOMAXPROCS(0), nil

@@ -8,12 +8,17 @@
 // requested at dispatch time with the physical placement (SM, slot) in
 // the Launch context, both ordinary kernels and the clustered kernels
 // produced by internal/core run unmodified.
+//
+// A run is serial by default; Config.Shards > 1 partitions the SMs
+// across lockstep goroutine shards whose results are byte-identical to
+// the serial reference (see shard.go for the determinism argument).
 package engine
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"ctacluster/internal/arch"
 	"ctacluster/internal/cache"
@@ -40,8 +45,21 @@ type Config struct {
 	// Profiler receives the run's event stream and interval counter
 	// snapshots (internal/prof). nil disables profiling entirely: every
 	// emit site is behind a single pointer comparison and the run makes
-	// no profiling allocations.
+	// no profiling allocations. Under Shards > 1 events are buffered
+	// per shard and delivered in one deterministic timestamp-ordered
+	// merge when the run completes; counter snapshots are still
+	// delivered live, at the same cycles as a serial run.
 	Profiler prof.Profiler
+	// Shards splits the cycle loop itself across goroutines: the SMs
+	// are partitioned round-robin into Shards lockstep lanes advancing
+	// epoch by epoch (values above the SM count are clamped; <= 1 runs
+	// the serial reference loop). Every output is byte-identical at
+	// every setting — shards synchronize at an epoch barrier per
+	// distinct timestamp and all shared state is touched in the exact
+	// serial event order — so Shards only trades CPU for wall-clock.
+	// It is deliberately excluded from the rescache key. See shard.go
+	// and DESIGN.md §9.
+	Shards int
 }
 
 // DefaultConfig returns the customary configuration for an architecture:
@@ -144,6 +162,30 @@ type smState struct {
 	resident  int              // resident warps (occupancy tracking)
 }
 
+// lane is one execution context of the cycle loop: a subset of the SMs,
+// their private event queue and a local clock. The serial engine is a
+// single lane owning every SM, advanced by (*sim).loop; a sharded run
+// (Config.Shards > 1) partitions the SMs round-robin across lanes, each
+// advanced by its own goroutine in lockstep epochs (shard.go). All
+// scheduling is intra-lane — a warp's continuations always target the
+// SM that owns it — so the queues never exchange events; lanes interact
+// only through the seq-ordered global-state token (see (*lane).global).
+type lane struct {
+	s   *sim
+	id  int
+	q   scheduler
+	now int64
+
+	// Sharded-run state; zero and unused on the serial path.
+	stepSeq   uint64         // seq of the event currently being stepped
+	emitIdx   int32          // profiler emissions made by this step so far
+	holds     bool           // this step already holds the global token
+	events    int64          // events stepped this epoch (ctx-poll cadence)
+	watermark atomic.Uint64  // seq of this lane's next incomplete event
+	pending   []pendingEvent // schedule calls logged during this epoch
+	buf       []taggedEvent  // buffered profiler emissions
+}
+
 // sim is the run state.
 type sim struct {
 	cfg    Config
@@ -152,8 +194,12 @@ type sim struct {
 	kern   kernel.Kernel
 	memsys *mem.System
 	sms    []*smState
-	sched  scheduler
 	rng    *rand.Rand
+
+	lanes   []*lane  // execution lanes; exactly one on the serial path
+	laneOf  []*lane  // SM id -> owning lane
+	curLane *lane    // lane whose step is inside the memory system
+	sh      *sharder // sharded-run coordinator; nil on the serial path
 
 	nextCTA    int // next undispatched CTA (dispatch order)
 	dispatched int
@@ -262,25 +308,51 @@ func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, erro
 			pendFills: make(map[uint64]int64),
 		}
 	}
+	shards := cfg.Shards
+	if shards > ar.SMs {
+		shards = ar.SMs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s.lanes = make([]*lane, shards)
+	for i := range s.lanes {
+		s.lanes[i] = &lane{s: s, id: i}
+	}
+	s.laneOf = make([]*lane, ar.SMs)
+	for i := range s.laneOf {
+		s.laneOf[i] = s.lanes[i%shards]
+	}
+	s.curLane = s.lanes[0]
 	if s.prof = cfg.Profiler; s.prof != nil {
 		if iv := s.prof.SampleInterval(); iv > 0 {
 			s.snapEvery, s.nextSnap = iv, iv
 		}
-		// Route L2 transactions into the event stream. The closure is
-		// the only profiling allocation, made once per run.
-		p := s.prof
+		// Route L2 transactions into the event stream via the lane
+		// currently inside the memory system (the token holder on a
+		// sharded run; always lane 0 on the serial path). The closure
+		// is the only profiling allocation, made once per run.
 		s.memsys.SetObserver(func(at int64, smID int, addr uint64, kind mem.TxnKind, l2Hit bool) {
-			p.Emit(prof.Event{
+			s.curLane.emit(prof.Event{
 				Kind: prof.EvL2Transaction, Tag: uint8(kind), Hit: l2Hit,
 				Write: kind == mem.TxnWrite, SM: int32(smID), CTA: -1, Warp: -1, Slot: -1,
 				Cycle: at, Addr: addr,
 			})
 		})
 	}
+	if shards > 1 {
+		s.sh = newSharder(s)
+	}
 	s.buildOrder()
 	s.firstWave()
-	if err := s.loop(); err != nil {
-		return nil, err
+	var runErr error
+	if s.sh != nil {
+		runErr = s.sh.run()
+	} else {
+		runErr = s.loop()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	if s.snapEvery > 0 {
 		// Final sample after the drain so the last snapshot equals the
@@ -353,7 +425,12 @@ func (s *sim) cancelErr() error {
 		s.kern.Name(), s.now, s.dispatched, s.totalCTAs, s.cancelled)
 }
 
+// loop is the serial reference cycle loop: one lane owning every SM,
+// popping events in global (at, seq) order. The sharded driver in
+// shard.go reproduces this order exactly; any behavioural change here
+// must be mirrored there (the differential goldens catch divergence).
 func (s *sim) loop() error {
+	l := s.lanes[0]
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
@@ -362,7 +439,7 @@ func (s *sim) loop() error {
 		if s.cancelled != nil {
 			return s.cancelErr()
 		}
-		ev, ok := s.sched.next()
+		ev, ok := l.q.next()
 		if !ok {
 			break
 		}
@@ -377,6 +454,7 @@ func (s *sim) loop() error {
 		}
 		if ev.at > s.now {
 			s.now = ev.at
+			l.now = ev.at
 			if s.snapEvery > 0 && s.now >= s.nextSnap {
 				// Sample at the first event past each boundary, then
 				// skip ahead so one big time jump yields one sample.
@@ -384,12 +462,20 @@ func (s *sim) loop() error {
 				s.nextSnap = (s.now/s.snapEvery + 1) * s.snapEvery
 			}
 		}
-		s.step(ev.warp)
+		l.step(ev.warp)
 	}
+	return s.checkDrained()
+}
+
+// checkDrained is the shared end-of-run tail: verify the drained event
+// queues mean completion rather than deadlock, then flush the memory
+// system. Serial and sharded runs both finish here so the two paths
+// produce identical errors and identical final memory statistics.
+func (s *sim) checkDrained() error {
 	if s.dispatched != s.totalCTAs {
 		return fmt.Errorf("engine: deadlock — %d of %d CTAs dispatched", s.dispatched, s.totalCTAs)
 	}
-	// A drained event queue with unfinished CTAs means warps are stuck
+	// Drained event queues with unfinished CTAs mean warps are stuck
 	// at a barrier their peers will never reach (malformed kernel).
 	for _, sm := range s.sms {
 		for _, cta := range sm.slots {

@@ -34,9 +34,21 @@ type scheduler struct {
 	seq uint64
 }
 
+// schedule enqueues w with the next internally counted sequence number.
+// The serial engine runs on a single scheduler, so the internal counter
+// is exactly the global schedule-call order the (at, seq) tie-break
+// needs for determinism.
 func (s *scheduler) schedule(at int64, w *warpState) {
 	s.seq++
 	heap.Push(&s.q, event{at: at, seq: s.seq, warp: w})
+}
+
+// scheduleSeq enqueues w under an externally assigned sequence number.
+// Sharded runs assign seqs centrally — at the epoch barrier, in the
+// order the serial engine's counter would have produced — so the
+// tie-break stays byte-identical at every shard count (see shard.go).
+func (s *scheduler) scheduleSeq(at int64, seq uint64, w *warpState) {
+	heap.Push(&s.q, event{at: at, seq: seq, warp: w})
 }
 
 func (s *scheduler) next() (event, bool) {
@@ -45,5 +57,17 @@ func (s *scheduler) next() (event, bool) {
 	}
 	return heap.Pop(&s.q).(event), true
 }
+
+// headAt returns the cycle of the earliest queued event.
+func (s *scheduler) headAt() (int64, bool) {
+	if len(s.q) == 0 {
+		return 0, false
+	}
+	return s.q[0].at, true
+}
+
+// headSeq returns the seq of the earliest queued event; the queue must
+// be non-empty.
+func (s *scheduler) headSeq() uint64 { return s.q[0].seq }
 
 func (s *scheduler) empty() bool { return len(s.q) == 0 }

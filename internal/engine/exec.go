@@ -12,29 +12,30 @@ const mlpWindow = 6
 
 // emitStall records a warp blocking until the given cycle. Callers
 // guard with s.prof != nil so the disabled path stays branch-only.
-func (s *sim) emitStall(w *warpState, reason prof.StallReason, until int64) {
-	dur := until - s.now
+func (l *lane) emitStall(w *warpState, reason prof.StallReason, until int64) {
+	dur := until - l.now
 	if dur < 0 {
 		dur = 0
 	}
-	s.prof.Emit(prof.Event{
+	l.emit(prof.Event{
 		Kind: prof.EvWarpStall, Tag: uint8(reason),
 		SM: int32(w.cta.sm.id), CTA: int32(w.cta.rec.CTA), Warp: int32(w.id),
-		Slot: int32(w.cta.rec.Slot), Cycle: s.now, Dur: dur,
+		Slot: int32(w.cta.rec.Slot), Cycle: l.now, Dur: dur,
 	})
 }
 
 // emitMemOp records one completed warp memory instruction.
-func (s *sim) emitMemOp(w *warpState, class prof.MemClass, addr uint64, issue, done int64, write bool) {
-	s.prof.Emit(prof.Event{
+func (l *lane) emitMemOp(w *warpState, class prof.MemClass, addr uint64, issue, done int64, write bool) {
+	l.emit(prof.Event{
 		Kind: prof.EvMemOp, Tag: uint8(class), Write: write,
 		SM: int32(w.cta.sm.id), CTA: int32(w.cta.rec.CTA), Warp: int32(w.id),
 		Slot: int32(w.cta.rec.Slot), Cycle: issue, Dur: done - issue, Addr: addr,
 	})
 }
 
-// step executes the next op of warp w at the current simulation time.
-func (s *sim) step(w *warpState) {
+// step executes the next op of warp w at the lane's current time.
+func (l *lane) step(w *warpState) {
+	s := l.s
 	if w.done {
 		return
 	}
@@ -42,36 +43,36 @@ func (s *sim) step(w *warpState) {
 	sm := cta.sm
 	if w.pc >= len(w.ops) {
 		// Drain outstanding loads before the warp can finish.
-		if w.pendDone > s.now {
+		if w.pendDone > l.now {
 			d := w.pendDone
 			w.pendDone = 0
 			w.outstanding = 0
 			if s.prof != nil {
-				s.emitStall(w, prof.StallTraceEnd, d)
+				l.emitStall(w, prof.StallTraceEnd, d)
 			}
-			s.sched.schedule(d, w)
+			l.schedule(d, w)
 			return
 		}
-		s.finishWarp(w)
+		l.finishWarp(w)
 		return
 	}
 	op := w.ops[w.pc]
 
 	// Barriers, stores and atomics consume loaded values: drain the
 	// load window first.
-	if drains(op) && w.pendDone > s.now {
+	if drains(op) && w.pendDone > l.now {
 		d := w.pendDone
 		w.pendDone = 0
 		w.outstanding = 0
 		if s.prof != nil {
-			s.emitStall(w, prof.StallDrain, d)
+			l.emitStall(w, prof.StallDrain, d)
 		}
-		s.sched.schedule(d, w)
+		l.schedule(d, w)
 		return
 	}
 	w.pc++
 
-	issue := s.now
+	issue := l.now
 	if sm.issueFree > issue {
 		issue = sm.issueFree
 	}
@@ -83,7 +84,7 @@ func (s *sim) step(w *warpState) {
 		if c < 1 {
 			c = 1
 		}
-		s.sched.schedule(issue+c, w)
+		l.schedule(issue+c, w)
 
 	case kernel.OpBarrier:
 		cta.barWait++
@@ -91,16 +92,16 @@ func (s *sim) step(w *warpState) {
 			release := issue + barrierLatency
 			cta.barWait = 0
 			for _, peer := range cta.barBlocked {
-				s.sched.schedule(release, peer)
+				l.schedule(release, peer)
 			}
 			cta.barBlocked = cta.barBlocked[:0]
-			s.sched.schedule(release, w)
+			l.schedule(release, w)
 		} else {
 			cta.barBlocked = append(cta.barBlocked, w)
 		}
 
 	case kernel.OpMem:
-		done := s.memAccess(sm, cta, op.Mem, issue)
+		done := l.memAccess(sm, cta, op.Mem, issue)
 		if s.prof != nil {
 			class := prof.MemLoad
 			switch {
@@ -109,11 +110,11 @@ func (s *sim) step(w *warpState) {
 			case op.Mem.Write:
 				class = prof.MemStore
 			}
-			s.emitMemOp(w, class, op.Mem.Base, issue, done, op.Mem.Write)
+			l.emitMemOp(w, class, op.Mem.Base, issue, done, op.Mem.Write)
 		}
 		if op.Mem.Prefetch || op.Mem.Write {
 			// Prefetches and stores are fire-and-forget.
-			s.sched.schedule(issue+1, w)
+			l.schedule(issue+1, w)
 			break
 		}
 		cta.rec.MemLatency += done - issue
@@ -128,19 +129,20 @@ func (s *sim) step(w *warpState) {
 			w.pendDone = 0
 			w.outstanding = 0
 			if s.prof != nil {
-				s.emitStall(w, prof.StallWindowFull, d)
+				l.emitStall(w, prof.StallWindowFull, d)
 			}
-			s.sched.schedule(d, w)
+			l.schedule(d, w)
 		} else {
-			s.sched.schedule(issue+1, w)
+			l.schedule(issue+1, w)
 		}
 
 	case kernel.OpAtomic:
+		l.global()
 		done := s.memsys.Atomic(issue, sm.id, op.Mem.Base)
 		if s.prof != nil {
-			s.emitMemOp(w, prof.MemAtomic, op.Mem.Base, issue, done, true)
+			l.emitMemOp(w, prof.MemAtomic, op.Mem.Base, issue, done, true)
 		}
-		s.sched.schedule(done, w)
+		l.schedule(done, w)
 	}
 }
 
@@ -156,20 +158,20 @@ func drains(op kernel.Op) bool {
 	}
 }
 
-func (s *sim) finishWarp(w *warpState) {
+func (l *lane) finishWarp(w *warpState) {
 	w.done = true
 	cta := w.cta
 	cta.live--
 	if cta.live == 0 {
-		s.retire(cta, s.now)
+		l.retire(cta, l.now)
 		return
 	}
 	// A finishing warp may satisfy a barrier its peers are waiting at.
 	if cta.barWait > 0 && cta.barWait >= cta.live {
-		release := s.now + barrierLatency
+		release := l.now + barrierLatency
 		cta.barWait = 0
 		for _, peer := range cta.barBlocked {
-			s.sched.schedule(release, peer)
+			l.schedule(release, peer)
 		}
 		cta.barBlocked = cta.barBlocked[:0]
 	}
@@ -180,8 +182,8 @@ func lineKey(lineBase uint64, sector int) uint64 {
 }
 
 // emitL1 records one L1-line access outcome.
-func (s *sim) emitL1(sm *smState, cta *ctaState, addr uint64, res cache.Result, at int64, write bool) {
-	s.prof.Emit(prof.Event{
+func (l *lane) emitL1(sm *smState, cta *ctaState, addr uint64, res cache.Result, at int64, write bool) {
+	l.emit(prof.Event{
 		Kind: prof.EvCacheAccess, Tag: uint8(res), Write: write,
 		SM: int32(sm.id), CTA: int32(cta.rec.CTA), Warp: -1,
 		Slot: int32(cta.rec.Slot), Cycle: at, Addr: addr,
@@ -189,8 +191,11 @@ func (s *sim) emitL1(sm *smState, cta *ctaState, addr uint64, res cache.Result, 
 }
 
 // memAccess routes one warp memory op through the hierarchy and returns
-// the absolute completion time.
-func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64) int64 {
+// the absolute completion time. The per-SM L1 and fill table are lane-
+// private; any excursion into the shared memory system first takes the
+// global token so L2/DRAM state advances in serial event order.
+func (l *lane) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64) int64 {
+	s := l.s
 	ar := s.ar
 	if m.Write {
 		// Write-evict: invalidate any cached copy per L1 line, then
@@ -206,11 +211,12 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 				}
 				res := sm.l1.Write(a, sector)
 				if s.prof != nil {
-					s.emitL1(sm, cta, a, res, issue, true)
+					l.emitL1(sm, cta, a, res, issue, true)
 				}
 			}
 		}
 		done := issue + storeAckLatency
+		l.global()
 		for _, a := range m.Transactions(ar.L2Line) {
 			if t := s.memsys.Write(issue, sm.id, a, ar.L2Line); t > done {
 				_ = t // stores are fire-and-forget; bank pressure still applied
@@ -222,10 +228,11 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 	// Read path.
 	if !s.cfg.L1Enabled || m.Bypass {
 		done := issue
+		l.global()
 		for _, a := range m.Transactions(ar.L2Line) {
 			res := sm.l1.BypassRead()
 			if s.prof != nil {
-				s.emitL1(sm, cta, a, res, issue, false)
+				l.emitL1(sm, cta, a, res, issue, false)
 			}
 			if t := s.memsys.Read(issue, sm.id, a, ar.L2Line); t > done {
 				done = t
@@ -248,7 +255,7 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 		var t int64
 		res := sm.l1.Read(a, sector)
 		if s.prof != nil {
-			s.emitL1(sm, cta, a, res, issue, false)
+			l.emitL1(sm, cta, a, res, issue, false)
 		}
 		switch res {
 		case cache.Hit:
@@ -268,6 +275,7 @@ func (s *sim) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64)
 				base = a &^ 63
 				nbytes = 2 * ar.L2Line
 			}
+			l.global()
 			fd := s.memsys.Read(issue, sm.id, base, nbytes)
 			sm.pendFills[key] = fd
 			t = fd

@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// sharded-vs-serial differential sweep shrinks its workload set under
+// -race so the fully instrumented matrix stays within CI budgets.
+const raceEnabled = false

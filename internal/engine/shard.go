@@ -1,0 +1,378 @@
+package engine
+
+// Sharded execution of a single run (Config.Shards > 1).
+//
+// The serial engine is a discrete-event loop over one global queue
+// ordered by (cycle, seq), where seq is a counter incremented at every
+// schedule call — the deterministic tie-break. Sharding exploits two
+// structural facts:
+//
+//  1. Event locality: every schedule call targets a warp on the same SM
+//     as the step making it (self-reschedules, barrier peers in the same
+//     CTA, and dispatch onto the retiring SM's slot). Partitioning SMs
+//     across lanes therefore partitions the event queue — events never
+//     cross lanes.
+//
+//  2. Strictly-future scheduling: every latency in the model is >= 1
+//     cycle, so a step at cycle T only schedules events at > T
+//     ((*lane).schedule asserts this). All events at one timestamp are
+//     already queued when the timestamp is reached, which makes "one
+//     distinct timestamp" a safe parallel epoch: lanes process their
+//     own events of cycle T concurrently, then barrier.
+//
+// Determinism then needs two reconstructions:
+//
+// Seq assignment. The serial seq of an event equals the position of its
+// schedule call in the global call sequence, which within an epoch is
+// ordered by (seq of the calling step, call index within the step) —
+// the calling step's seq is a scalar already assigned. So lanes log
+// schedule calls to a per-lane pending list (in processing order, which
+// is exactly that order), and the coordinator merges the lists at the
+// epoch barrier by parent seq, assigning the global counter in the
+// merged order. The result is the serial counter value for every event,
+// hence the serial (cycle, seq) order, hence identical tie-breaks.
+//
+// Shared state. The memory system (L2/DRAM/NoC ports and banks), the
+// CTA dispatcher, the occupancy integral and the record table are order
+// sensitive. A lane touches them only while holding the global-state
+// token ((*lane).global): it waits until every other lane's watermark —
+// the seq of that lane's next incomplete event, MaxUint64 once its
+// epoch is done — has passed its own step's seq. The lane with the
+// globally minimal in-flight seq therefore proceeds and everyone else
+// spins, which serializes all shared-state excursions in exactly the
+// serial event order while letting pure-SM work (compute, barriers, L1
+// hits) run concurrently. The watermark atomics also carry the
+// happens-before edges that make the whole scheme race-detector clean.
+//
+// Profiler events are buffered per lane with the key (cycle, step seq,
+// emission index) — the serial emission order — and delivered in one
+// sorted merge when the run completes. Counter snapshots are taken by
+// the coordinator between epochs at exactly the serial cycles. The
+// coordinator also replicates the serial loop's MaxCycles check,
+// context-poll cadence and end-of-run drain checks, so errors are
+// byte-identical too.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ctacluster/internal/prof"
+)
+
+// pendingEvent is one schedule call logged during an epoch, awaiting
+// its serial seq from the coordinator's merge.
+type pendingEvent struct {
+	at     int64
+	parent uint64 // seq of the event whose step made the call
+	warp   *warpState
+}
+
+// taggedEvent is one buffered profiler emission with its serial-order
+// key: the (cycle, seq) of the emitting step and the emission index
+// within that step.
+type taggedEvent struct {
+	at  int64
+	seq uint64
+	idx int32
+	ev  prof.Event
+}
+
+// sharder drives a sharded run: it owns the epoch clock, the global
+// schedule-call counter, and the barrier the lanes synchronize on.
+type sharder struct {
+	s       *sim
+	lanes   []*lane
+	started bool   // set (single-threaded) just before the lanes spawn
+	seq     uint64 // global schedule-call counter (coordinator-owned)
+	mask    prof.EventMask
+	mergeIx []int // scratch per-lane cursor for mergePending
+
+	epochT int64 // timestamp of the epoch being released
+
+	// Barrier state. epoch is bumped by the coordinator to release the
+	// lanes into the next epoch; arrived counts lanes that finished it;
+	// stop tells the lane goroutines to exit on their next wake-up.
+	epoch   atomic.Uint64
+	arrived atomic.Int32
+	stop    atomic.Bool
+}
+
+func newSharder(s *sim) *sharder {
+	sh := &sharder{
+		s:       s,
+		lanes:   s.lanes,
+		mergeIx: make([]int, len(s.lanes)),
+		mask:    ^prof.EventMask(0),
+	}
+	// Buffered events survive until the end-of-run flush, so skip ones
+	// the profiler would drop anyway when it can tell us its mask.
+	if m, ok := s.prof.(interface{ EventMask() prof.EventMask }); ok {
+		sh.mask = m.EventMask()
+	}
+	return sh
+}
+
+// run is the sharded counterpart of (*sim).loop: the coordinator
+// releases one epoch per distinct timestamp, and between epochs — with
+// every lane quiescent — performs the serial loop's bookkeeping
+// (snapshots, MaxCycles, context polls) plus the seq merge.
+func (sh *sharder) run() error {
+	s := sh.s
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(len(sh.lanes))
+	sh.started = true
+	for _, l := range sh.lanes {
+		go l.runShard(&wg)
+	}
+	// stopLanes releases the lanes one last time with the stop flag set
+	// so they exit, then joins them; every return path runs it before
+	// touching state the lanes could still see.
+	stopLanes := func() {
+		sh.stop.Store(true)
+		sh.epoch.Add(1)
+		wg.Wait()
+	}
+
+	for {
+		if s.cancelled != nil {
+			stopLanes()
+			return s.cancelErr()
+		}
+		// The next epoch is the earliest queued event anywhere.
+		t := int64(math.MaxInt64)
+		for _, l := range sh.lanes {
+			if at, ok := l.q.headAt(); ok && at < t {
+				t = at
+			}
+		}
+		if t == math.MaxInt64 {
+			break
+		}
+		if t > maxCycles {
+			stopLanes()
+			return fmt.Errorf("engine: kernel %s exceeded %d cycles", s.kern.Name(), maxCycles)
+		}
+		if s.evCount >= ctxPollEvents {
+			s.evCount = 0
+			if s.pollCtx() {
+				stopLanes()
+				return s.cancelErr()
+			}
+		}
+		// Advance the global clock and sample counters exactly as the
+		// serial loop does on a time advance (epochs strictly increase).
+		s.now = t
+		if s.snapEvery > 0 && s.now >= s.nextSnap {
+			s.prof.Snapshot(s.counterSnapshot(s.now))
+			s.nextSnap = (s.now/s.snapEvery + 1) * s.snapEvery
+		}
+		// Preset every lane's watermark for the epoch BEFORE releasing
+		// it: a lane's token wait must never observe a stale value from
+		// the previous epoch.
+		for _, l := range sh.lanes {
+			if at, ok := l.q.headAt(); ok && at == t {
+				l.watermark.Store(l.q.headSeq())
+			} else {
+				l.watermark.Store(math.MaxUint64)
+			}
+		}
+		sh.arrived.Store(0)
+		sh.epochT = t
+		sh.epoch.Add(1) // release
+		for sh.arrived.Load() != int32(len(sh.lanes)) {
+			runtime.Gosched()
+		}
+		for _, l := range sh.lanes {
+			s.evCount += l.events
+		}
+		sh.mergePending()
+	}
+	stopLanes()
+	sh.flushProf()
+	return s.checkDrained()
+}
+
+// mergePending assigns serial seqs to the schedule calls logged during
+// the epoch. Each lane's log is already ordered by (parent seq, call
+// index); a k-way merge by parent seq visits the calls in the exact
+// order the serial engine's single counter would have, so the counter
+// values — and therefore all future tie-breaks — are reproduced.
+func (sh *sharder) mergePending() {
+	ix := sh.mergeIx
+	for i := range ix {
+		ix[i] = 0
+	}
+	for {
+		best := -1
+		var bestParent uint64
+		for i, l := range sh.lanes {
+			if ix[i] < len(l.pending) {
+				if p := l.pending[ix[i]].parent; best < 0 || p < bestParent {
+					best, bestParent = i, p
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		l := sh.lanes[best]
+		p := l.pending[ix[best]]
+		ix[best]++
+		if ix[best] == len(l.pending) {
+			l.pending = l.pending[:0]
+		}
+		sh.seq++
+		l.q.scheduleSeq(p.at, sh.seq, p.warp)
+	}
+}
+
+// flushProf delivers the buffered event stream in serial emission
+// order: (cycle, emitting step's seq, emission index). It runs after
+// the lanes have joined, so the profiler sees a single goroutine as
+// its contract requires. Error paths skip the flush — a failed run
+// discards its partial results, traces included.
+func (sh *sharder) flushProf() {
+	if sh.s.prof == nil {
+		return
+	}
+	n := 0
+	for _, l := range sh.lanes {
+		n += len(l.buf)
+	}
+	if n == 0 {
+		return
+	}
+	all := make([]taggedEvent, 0, n)
+	for _, l := range sh.lanes {
+		all = append(all, l.buf...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.idx < b.idx
+	})
+	for i := range all {
+		sh.s.prof.Emit(all[i].ev)
+	}
+}
+
+// runShard is a lane goroutine: wait for each epoch release, run the
+// lane's slice of it, signal arrival.
+func (l *lane) runShard(wg *sync.WaitGroup) {
+	defer wg.Done()
+	sh := l.s.sh
+	for e := uint64(1); ; e++ {
+		for sh.epoch.Load() < e {
+			runtime.Gosched()
+		}
+		if sh.stop.Load() {
+			return
+		}
+		l.runEpoch(sh.epochT)
+		sh.arrived.Add(1)
+	}
+}
+
+// runEpoch processes every queued event of this lane at cycle t. The
+// lane's watermark tracks the seq of the event being stepped (preset by
+// the coordinator to the first one) and jumps to MaxUint64 when the
+// lane has no further work this epoch, unblocking any token waiter.
+func (l *lane) runEpoch(t int64) {
+	l.now = t
+	l.events = 0
+	for {
+		at, ok := l.q.headAt()
+		if !ok || at != t {
+			break
+		}
+		ev, _ := l.q.next()
+		l.watermark.Store(ev.seq)
+		l.stepSeq = ev.seq
+		l.emitIdx = 0
+		l.holds = false
+		l.step(ev.warp)
+		l.events++
+	}
+	l.watermark.Store(math.MaxUint64)
+}
+
+// global acquires the run's shared-state token: the right to touch the
+// memory system, the dispatcher, the occupancy integral or the record
+// table. Serial runs get it for free. A sharded lane blocks until every
+// event ordered before its current one — lower seq, any lane — has
+// completed, which serializes all shared-state excursions in exactly
+// the serial event order: the core of the byte-identity guarantee. The
+// token is held for the remainder of the step and released implicitly
+// when the lane's watermark moves past this seq.
+func (l *lane) global() {
+	sh := l.s.sh
+	if sh == nil || !sh.started || l.holds {
+		return
+	}
+	for _, other := range sh.lanes {
+		if other == l {
+			continue
+		}
+		for other.watermark.Load() <= l.stepSeq {
+			runtime.Gosched()
+		}
+	}
+	l.holds = true
+	l.s.curLane = l
+}
+
+// emit hands one profiler event to the run's profiler — directly on
+// the serial path (and during the single-threaded first wave), via the
+// lane's ordered buffer once the shard goroutines are running. Callers
+// guard with s.prof != nil.
+func (l *lane) emit(e prof.Event) {
+	if sh := l.s.sh; sh != nil && sh.started {
+		if sh.mask&(1<<e.Kind) == 0 {
+			return
+		}
+		l.buf = append(l.buf, taggedEvent{at: l.now, seq: l.stepSeq, idx: l.emitIdx, ev: e})
+		l.emitIdx++
+		return
+	}
+	l.s.prof.Emit(e)
+}
+
+// schedule enqueues w's next wake-up. Continuations always target a
+// warp on one of this lane's own SMs, so the push never leaves the
+// lane. The serial path draws the tie-break seq from the queue's own
+// counter; pre-run (first wave) sharded calls draw from the sharder's
+// counter on the single setup goroutine — the same order — and in-run
+// sharded calls are logged for the coordinator's barrier-time merge
+// (mergePending), which reassigns the exact serial counter values.
+func (l *lane) schedule(at int64, w *warpState) {
+	sh := l.s.sh
+	if sh == nil {
+		l.q.schedule(at, w)
+		return
+	}
+	if !sh.started {
+		sh.seq++
+		l.q.scheduleSeq(at, sh.seq, w)
+		return
+	}
+	if at <= l.now {
+		// Every model latency is >= 1 cycle; an intra-epoch schedule
+		// would break the epoch barrier's correctness argument.
+		panic(fmt.Sprintf("engine: sharded schedule into the current epoch (at=%d now=%d)", at, l.now))
+	}
+	l.pending = append(l.pending, pendingEvent{at: at, parent: l.stepSeq, warp: w})
+}

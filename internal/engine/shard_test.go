@@ -1,0 +1,239 @@
+package engine_test
+
+// Differential goldens for the sharded engine: Config.Shards must be
+// invisible in every output. The serial loop (Shards=1) is the oracle;
+// these tests sweep shard counts across the Table 2 workloads on all
+// four evaluation platforms and demand deep-equal Results, identical
+// rescache keys, and a byte-identical profiler stream. They live in an
+// external test package because they drive the engine through
+// internal/workloads, which itself imports internal/engine.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/rescache"
+	"ctacluster/internal/workloads"
+)
+
+// shardCounts are the non-serial settings the differential sweep
+// exercises: even splits, an odd count that divides no platform's SM
+// count, and (via the clamp) effectively-max sharding on GTX750Ti's
+// five SMs.
+var shardCounts = []int{2, 4, 7}
+
+// diffShardCounts drops the middle setting under instrumentation; the
+// boundary counts (finest even split, odd non-divisor) are the ones
+// that have ever caught anything.
+func diffShardCounts() []int {
+	if raceEnabled || testing.Short() {
+		return []int{2, 7}
+	}
+	return shardCounts
+}
+
+// diffArches picks the platform sweep: all four evaluation platforms
+// normally; one unsectored-L1 (Kepler) and one sectored (Maxwell)
+// under -short or -race.
+func diffArches() []*arch.Arch {
+	if raceEnabled || testing.Short() {
+		return []*arch.Arch{arch.TeslaK40(), arch.GTX980()}
+	}
+	return arch.All()
+}
+
+// diffApps picks the sweep size: the full Table 2 set normally, a
+// subset spanning the locality categories under -short or -race (the
+// instrumented barrier spins make sharded runs several times slower).
+func diffApps(t *testing.T) []*workloads.App {
+	t.Helper()
+	names := []string{"KMN", "MM", "ATX", "HST", "NW", "MON"}
+	if !testing.Short() && !raceEnabled {
+		return workloads.Table2()
+	}
+	var apps []*workloads.App
+	for _, n := range names {
+		a, err := workloads.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// TestShardedMatchesSerial is the core differential golden: for every
+// workload × platform, every shard count must reproduce the serial
+// Result exactly — cycle counts, cache statistics, per-CTA records,
+// dispatch orders and the bit pattern of AchievedOccupancy.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, ar := range diffArches() {
+		for _, app := range diffApps(t) {
+			cfg := engine.DefaultConfig(ar)
+			serial, err := engine.Run(cfg, app)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", app.Name(), ar.Name, err)
+			}
+			for _, n := range diffShardCounts() {
+				cfg := engine.DefaultConfig(ar)
+				cfg.Shards = n
+				got, err := engine.Run(cfg, app)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", app.Name(), ar.Name, n, err)
+				}
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s/%s: shards=%d result differs from serial (cycles %d vs %d, L2 read txns %d vs %d, achieved occupancy %v vs %v)",
+						app.Name(), ar.Name, n, serial.Cycles, got.Cycles,
+						serial.L2ReadTransactions(), got.L2ReadTransactions(),
+						serial.AchievedOccupancy, got.AchievedOccupancy)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRescacheKeyInvariant pins the cache-layer half of the
+// contract: because sharded results are byte-identical, Shards is
+// excluded from the rescache key, so a daemon switching shard counts
+// keeps serving (and sharing) its existing cache entries.
+func TestShardedRescacheKeyInvariant(t *testing.T) {
+	for _, ar := range arch.All() {
+		base := engine.DefaultConfig(ar)
+		want := rescache.ConfigKey("MM/BSL", base)
+		for _, n := range append([]int{1}, shardCounts...) {
+			cfg := base
+			cfg.Shards = n
+			if got := rescache.ConfigKey("MM/BSL", cfg); got != want {
+				t.Errorf("%s: rescache key changed with Shards=%d:\n got %s\nwant %s", ar.Name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedProfStreamByteIdentical runs one profiled workload per
+// platform and requires the sharded trace — events, order, payloads,
+// and interval snapshots — to match the serial one exactly after the
+// end-of-run merge. This is the "same prof event stream" clause of the
+// sharding contract: the merge key (cycle, step seq, emission index)
+// must reconstruct the serial emission order perfectly.
+func TestShardedProfStreamByteIdentical(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unsectored-L1 platform and one sectored: the two cache shapes
+	// exercise every emission site without quadrupling the runtime.
+	arches := []*arch.Arch{arch.TeslaK40(), arch.GTX980()}
+	if raceEnabled || testing.Short() {
+		arches = arches[:1]
+	}
+	for _, ar := range arches {
+		trace := func(shards int) *prof.Trace {
+			tr := prof.NewTrace(prof.TraceConfig{
+				Kernel: app.Name(), Arch: ar.Name, SMs: ar.SMs,
+				Events:         prof.MaskCTA | prof.MaskStall | prof.MaskMem | prof.MaskCache | prof.MaskL2,
+				SampleInterval: 5000,
+			})
+			cfg := engine.DefaultConfig(ar)
+			cfg.Profiler = tr
+			cfg.Shards = shards
+			if _, err := engine.Run(cfg, app); err != nil {
+				t.Fatalf("%s shards=%d: %v", ar.Name, shards, err)
+			}
+			return tr
+		}
+		serial := trace(1)
+		for _, n := range diffShardCounts() {
+			got := trace(n)
+			if !reflect.DeepEqual(serial.Events(), got.Events()) {
+				t.Errorf("%s: shards=%d event stream differs (%d vs %d events)",
+					ar.Name, n, len(serial.Events()), len(got.Events()))
+			}
+			if !reflect.DeepEqual(serial.Snapshots(), got.Snapshots()) {
+				t.Errorf("%s: shards=%d snapshot stream differs (%d vs %d snapshots)",
+					ar.Name, n, len(serial.Snapshots()), len(got.Snapshots()))
+			}
+		}
+	}
+}
+
+// TestShardedMaskedProfMatchesSerial covers the masked-trace fast path:
+// the sharded buffer pre-filters via Trace.EventMask, which must drop
+// exactly what the trace itself would.
+func TestShardedMaskedProfMatchesSerial(t *testing.T) {
+	app, err := workloads.New("ATX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	run := func(shards int) *prof.Trace {
+		tr := prof.NewTrace(prof.TraceConfig{Kernel: app.Name(), Arch: ar.Name, SMs: ar.SMs, Events: prof.MaskCTA})
+		cfg := engine.DefaultConfig(ar)
+		cfg.Profiler = tr
+		cfg.Shards = shards
+		if _, err := engine.Run(cfg, app); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return tr
+	}
+	serial := run(1)
+	for _, n := range shardCounts {
+		if got := run(n); !reflect.DeepEqual(serial.Events(), got.Events()) {
+			t.Errorf("shards=%d masked event stream differs (%d vs %d events)", n, len(serial.Events()), len(got.Events()))
+		}
+	}
+}
+
+// TestShardsClamped pins the boundary settings: negative, zero, one and
+// above-SM-count values must all run and agree with the serial oracle
+// (Shards > SMs clamps to one lane per SM).
+func TestShardsClamped(t *testing.T) {
+	app, err := workloads.New("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.GTX750Ti() // 5 SMs: Shards=7 and 64 both clamp to 5
+	serial, err := engine.Run(engine.DefaultConfig(ar), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-3, 0, 1, 5, 7, 64} {
+		cfg := engine.DefaultConfig(ar)
+		cfg.Shards = n
+		got, err := engine.Run(cfg, app)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("shards=%d differs from serial", n)
+		}
+	}
+}
+
+// BenchmarkRunSharded measures single-run scaling of MM on TeslaK40
+// across shard counts — the tentpole's headline benchmark. Run with
+// `make bench` (or `go test -bench RunSharded ./internal/engine`);
+// DESIGN.md §9 records the measured curve and its limiter.
+func BenchmarkRunSharded(b *testing.B) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			cfg := engine.DefaultConfig(ar)
+			cfg.Shards = n
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg, app); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -43,14 +43,17 @@ func (s *sim) buildOrder() {
 }
 
 // firstWave performs the initial assignment: each SM gets one CTA per
-// round until all SMs are saturated (Section 2, "CTA Scheduling").
+// round until all SMs are saturated (Section 2, "CTA Scheduling"). It
+// runs on the caller's goroutine before any lane goroutine starts, so
+// dispatch order (and hence seq assignment) is the serial one even on
+// a sharded run.
 func (s *sim) firstWave() {
 	for round := 0; round < s.ctasPerSM; round++ {
 		for _, sm := range s.sms {
 			if s.nextCTA >= len(s.order) {
 				return
 			}
-			s.dispatchTo(sm, round, 0)
+			s.laneOf[sm.id].dispatchTo(sm, round, 0)
 		}
 	}
 }
@@ -58,8 +61,12 @@ func (s *sim) firstWave() {
 // dispatchTo places the next CTA (in policy order) onto sm at slot,
 // starting at time at. A cancelled run context stops dispatching here —
 // the CTA boundary — leaving the remaining CTAs unconsumed; the event
-// loop then surfaces the cancellation.
-func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
+// loop then surfaces the cancellation. Dispatch consumes shared
+// dispatcher state (and may mutate per-launch kernel state inside
+// Work), so a sharded lane holds the global token throughout.
+func (l *lane) dispatchTo(sm *smState, slot int, at int64) {
+	s := l.s
+	l.global()
 	if s.pollCtx() {
 		return
 	}
@@ -79,7 +86,7 @@ func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
 	cta.rec = CTARecord{CTA: id, SM: sm.id, Slot: slot, Dispatched: at}
 	s.perSM[sm.id] = append(s.perSM[sm.id], id)
 	if s.prof != nil {
-		s.prof.Emit(prof.Event{
+		l.emit(prof.Event{
 			Kind: prof.EvCTADispatch, SM: int32(sm.id), CTA: int32(id),
 			Warp: -1, Slot: int32(slot), Cycle: at,
 		})
@@ -91,12 +98,12 @@ func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
 		cta.rec.Retired = at + dispatchLatency
 		s.records[id] = cta.rec
 		if s.prof != nil {
-			s.prof.Emit(prof.Event{
+			l.emit(prof.Event{
 				Kind: prof.EvCTARetire, SM: int32(sm.id), CTA: int32(id),
 				Warp: -1, Slot: int32(slot), Cycle: cta.rec.Retired, Dur: dispatchLatency,
 			})
 		}
-		s.afterRetire(sm, slot, cta.rec.Retired)
+		l.afterRetire(sm, slot, cta.rec.Retired)
 		return
 	}
 
@@ -106,7 +113,7 @@ func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
 	for i, ops := range work.Warps {
 		w := &warpState{cta: cta, id: i, ops: ops}
 		cta.warps[i] = w
-		s.sched.schedule(at+dispatchLatency, w)
+		l.schedule(at+dispatchLatency, w)
 	}
 	s.occupancyDelta(sm, at, len(cta.warps))
 }
@@ -114,7 +121,8 @@ func (s *sim) dispatchTo(sm *smState, slot int, at int64) {
 // afterRetire hands the freed slot to the next CTA under the demand-
 // driven regime that follows the first wave. Strict-RR instead keeps the
 // static CTA->SM mapping prior work assumed.
-func (s *sim) afterRetire(sm *smState, slot int, at int64) {
+func (l *lane) afterRetire(sm *smState, slot int, at int64) {
+	s := l.s
 	if s.nextCTA >= len(s.order) {
 		return
 	}
@@ -137,27 +145,36 @@ func (s *sim) afterRetire(sm *smState, slot int, at int64) {
 			}
 		}
 	}
-	s.dispatchTo(sm, slot, at)
+	l.dispatchTo(sm, slot, at)
 }
 
-// retire finishes a CTA.
-func (s *sim) retire(cta *ctaState, at int64) {
+// retire finishes a CTA. It writes the shared record table, the
+// occupancy integral and (via afterRetire) the dispatcher, so a
+// sharded lane takes the global token first — retires therefore commit
+// in exact serial event order.
+func (l *lane) retire(cta *ctaState, at int64) {
+	s := l.s
+	l.global()
 	cta.rec.Retired = at
 	s.records[cta.rec.CTA] = cta.rec
 	sm := cta.sm
 	if s.prof != nil {
-		s.prof.Emit(prof.Event{
+		l.emit(prof.Event{
 			Kind: prof.EvCTARetire, SM: int32(sm.id), CTA: int32(cta.rec.CTA),
 			Warp: -1, Slot: int32(cta.rec.Slot), Cycle: at, Dur: at - cta.rec.Dispatched,
 		})
 	}
 	sm.slots[cta.rec.Slot] = nil
 	s.occupancyDelta(sm, at, -len(cta.warps))
-	s.afterRetire(sm, cta.rec.Slot, at)
+	l.afterRetire(sm, cta.rec.Slot, at)
 }
 
 // occupancyDelta integrates resident warps over time, then applies a
-// change of delta resident warps on sm at time at.
+// change of delta resident warps on sm at time at. It reads every SM's
+// resident count and advances the global integral, so callers reach it
+// only from token-holding contexts (dispatch and retire); the summation
+// order over s.sms is fixed, keeping the float accumulation — and hence
+// AchievedOccupancy — bit-identical at every shard count.
 func (s *sim) occupancyDelta(sm *smState, at int64, delta int) {
 	total := 0
 	for _, m := range s.sms {

@@ -156,6 +156,13 @@ type Options struct {
 	// ProfileInterval is the counter-snapshot period in cycles for
 	// profiled sweeps; 0 means DefaultProfileInterval.
 	ProfileInterval int64
+	// Shards is passed to engine.Config.Shards for every simulation the
+	// sweep runs: each single run is itself parallelized across that
+	// many lockstep SM shards (<= 1 = serial engine). Orthogonal to
+	// Parallelism — one fans out runs, the other the inside of a run —
+	// and, like it, byte-invisible in the results: the engine's
+	// differential goldens pin sharded output identical to serial.
+	Shards int
 }
 
 // context returns the run context, defaulting to Background.
@@ -183,6 +190,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 	if opt.Seed != 0 {
 		cfg.Seed = opt.Seed
 	}
+	cfg.Shards = opt.Shards
 
 	// sim builds a job that runs its own engine instance over k and
 	// parks the result (or the scheme-labelled error) in its own slots.

@@ -1,6 +1,9 @@
 // Package kernel defines the kernel abstraction the simulator executes
 // and the clustering transforms rewrite: grids of CTAs whose warps run
-// sequences of compute, memory and barrier operations.
+// sequences of compute, memory and barrier operations. It is the
+// software half of the paper's execution model (Section 2.1's
+// grid → CTA → warp hierarchy) and the surface the Section 4.2
+// clustering transforms (internal/core) rewrite.
 //
 // A CUDA kernel body is represented by its per-warp operation trace — the
 // stream of instructions that reach the SM pipelines. This captures

@@ -6,7 +6,8 @@
 // a recorded run as a Chrome trace_event JSON timeline (per-SM lanes,
 // CTA lifetime slices) or an nvprof-style CSV metrics table keyed by the
 // counter names the paper reports (l2_read_transactions,
-// achieved_occupancy, L1 hit rate).
+// achieved_occupancy, L1 hit rate — the metrics behind Figures 12
+// and 13, Section 5.2).
 //
 // The contract with the engine is zero cost when disabled: a nil
 // Profiler in engine.Config skips every emit site behind a single

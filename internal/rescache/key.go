@@ -4,6 +4,8 @@
 // engine configuration). Because the engine is deterministic for a
 // fixed seed, two requests with equal keys are guaranteed byte-identical
 // responses, which is what makes memoization sound (DESIGN.md §8).
+// Serving infrastructure beyond the paper's scope: it memoizes the
+// Section 5 evaluation runs but models nothing from the paper itself.
 //
 // The package has three pieces: the canonical Key builder (this file),
 // a bounded LRU byte cache (cache.go) and a singleflight group that
@@ -130,14 +132,28 @@ func (k *Key) Arch(a *arch.Arch) *Key {
 	return k
 }
 
-// configFieldCount pins engine.Config coverage the same way.
-const configFieldCount = 7
+// configFieldCount pins engine.Config coverage the same way: every
+// field is either encoded below or listed in configExecOnlyFields.
+const configFieldCount = 8
 
-// Config appends every field of the engine configuration. The Arch
-// pointer is encoded by value via Arch; the Profiler is encoded only by
-// presence — profiling observes a run without changing its outcome, so
-// two configs that differ only in which profiler implementation they
-// carry produce the same simulation results.
+// configExecOnlyFields are engine.Config fields that control how a run
+// executes without changing what it computes, and are therefore
+// deliberately EXCLUDED from the key. Shards is the engine's
+// parallelism knob: its results are byte-identical at every setting
+// (the differential goldens in internal/engine pin this), so hashing
+// it would only fragment the cache — and invalidate every deployed
+// entry — for zero soundness gain. key_test.go asserts the inverse
+// property for each field here: perturbing it must NOT change the key.
+var configExecOnlyFields = map[string]bool{
+	"Shards": true,
+}
+
+// Config appends every result-relevant field of the engine
+// configuration. The Arch pointer is encoded by value via Arch; the
+// Profiler is encoded only by presence — profiling observes a run
+// without changing its outcome, so two configs that differ only in
+// which profiler implementation they carry produce the same simulation
+// results. Execution-only fields (configExecOnlyFields) are skipped.
 func (k *Key) Config(cfg engine.Config) *Key {
 	if cfg.Arch == nil {
 		k.Bool(false)

@@ -35,9 +35,13 @@ func TestConfigKeyIdenticalAcrossAllocations(t *testing.T) {
 }
 
 // TestConfigKeyCoversEveryField perturbs each engine.Config field in
-// turn and requires a distinct key, and pins the struct's field count so
-// a newly added field that the encoder misses fails this test instead of
-// silently aliasing cache entries.
+// turn and requires a distinct key — except the execution-only fields
+// (configExecOnlyFields), whose perturbation must NOT change the key:
+// they tune how a run executes, never what it computes, and hashing
+// them would fragment the cache. The struct's field count is pinned so
+// a newly added field that neither the encoder nor the execution-only
+// list accounts for fails this test instead of silently aliasing cache
+// entries.
 func TestConfigKeyCoversEveryField(t *testing.T) {
 	if n := reflect.TypeOf(engine.Config{}).NumField(); n != configFieldCount {
 		t.Fatalf("engine.Config has %d fields but the key encoder covers %d — update Key.Config and configFieldCount", n, configFieldCount)
@@ -52,6 +56,7 @@ func TestConfigKeyCoversEveryField(t *testing.T) {
 		"Seed":           func(c *engine.Config) { c.Seed = 12345 },
 		"MaxCycles":      func(c *engine.Config) { c.MaxCycles = 999 },
 		"Profiler":       func(c *engine.Config) { c.Profiler = prof.NewTrace(prof.TraceConfig{}) },
+		"Shards":         func(c *engine.Config) { c.Shards = 7 },
 	}
 	typ := reflect.TypeOf(engine.Config{})
 	for i := 0; i < typ.NumField(); i++ {
@@ -62,7 +67,12 @@ func TestConfigKeyCoversEveryField(t *testing.T) {
 		}
 		cfg := base
 		fn(&cfg)
-		if got := ConfigKey("MM/BSL", cfg); got == ConfigKey("MM/BSL", base) {
+		changed := ConfigKey("MM/BSL", cfg) != ConfigKey("MM/BSL", base)
+		if configExecOnlyFields[name] {
+			if changed {
+				t.Errorf("perturbing execution-only field %s changed the key — it must stay excluded so shard counts share cache entries", name)
+			}
+		} else if !changed {
 			t.Errorf("perturbing %s did not change the key", name)
 		}
 	}

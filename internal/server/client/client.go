@@ -1,6 +1,8 @@
 // Package client is the Go client for the ctad daemon. It speaks the
 // internal/api schema over HTTP/JSON; the daemon's end-to-end tests are
-// its first consumer.
+// its first consumer. Serving infrastructure beyond the paper's scope —
+// the payloads it fetches are the Section 5 artifacts (Tables 1/2,
+// Figures 12/13), but the client models nothing from the paper itself.
 package client
 
 import (

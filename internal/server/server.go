@@ -10,6 +10,11 @@
 // the engine produces bit-identical results, and internal/api renders
 // them to canonical bytes — a warm response is byte-identical to the
 // cold one that populated it (DESIGN.md §8).
+//
+// Paper mapping: the daemon serves the Section 5 evaluation (simulate,
+// sweep, optimize — the Figure 11 framework decision over HTTP); the
+// serving machinery itself is reproduction infrastructure beyond the
+// paper's scope.
 package server
 
 import (
@@ -49,6 +54,13 @@ type Config struct {
 	// .Parallelism; default 0 = one per CPU). It never enters cache
 	// keys: sweep results are byte-identical for every setting.
 	Parallelism int
+	// Shards is the default intra-run shard count handed to
+	// engine.Config.Shards for every simulation the daemon executes
+	// (simulate requests may override it per request). 0 or 1 keeps the
+	// serial reference engine. Like Parallelism it never enters cache
+	// keys: sharded results are byte-identical to serial, so entries
+	// computed at any shard count serve every other.
+	Shards int
 	// CacheBytes / CacheEntries bound the result cache (defaults in
 	// rescache.New).
 	CacheBytes   int64
@@ -264,6 +276,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.MaxCycles > 0 {
 		cfg.MaxCycles = req.MaxCycles
 	}
+	// Shards shapes execution, not results, and is excluded from the
+	// key — requests at different shard counts share cache entries.
+	cfg.Shards = s.cfg.Shards
+	if req.Shards > 0 {
+		cfg.Shards = req.Shards
+	}
 	kernelID := fmt.Sprintf("%s/%s/agents=%d/bypass=%t/prefetch=%t",
 		app.Name(), scheme, req.Agents, req.Bypass, req.Prefetch)
 	key := rescache.ConfigKey(kernelID, cfg)
@@ -318,6 +336,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Seed:        req.Seed,
 			Quick:       req.Quick,
 			Parallelism: s.cfg.Parallelism,
+			Shards:      s.cfg.Shards,
 		}
 		sweep, err := eval.EvaluateAll(platforms, apps, opt, nil)
 		if err != nil {
@@ -352,11 +371,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := engine.RunContext(ctx, engine.DefaultConfig(ar), app)
+		cfg := engine.DefaultConfig(ar)
+		cfg.Shards = s.cfg.Shards
+		base, err := engine.RunContext(ctx, cfg, app)
 		if err != nil {
 			return nil, err
 		}
-		opt, err := engine.RunContext(ctx, engine.DefaultConfig(ar), plan.Clustered)
+		opt, err := engine.RunContext(ctx, cfg, plan.Clustered)
 		if err != nil {
 			return nil, err
 		}

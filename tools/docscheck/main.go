@@ -1,0 +1,273 @@
+// Command docscheck enforces the repo's documentation invariants. It is
+// wired to `make docs-check` and the `docs` CI job, and fails (non-zero
+// exit, one line per problem) when either invariant is violated:
+//
+//  1. Every package under internal/ and cmd/ must carry a package-level
+//     doc comment (a comment block immediately above the package clause
+//     in at least one non-test file).
+//  2. Every flag that README.md or EXPERIMENTS.md shows being passed to
+//     one of this repo's commands must actually be registered by that
+//     command. This catches the classic drift where a flag is renamed
+//     or removed but a documented invocation keeps advertising it.
+//
+// The flag cross-check scans fenced code blocks and indented code lines
+// in the two documents. A line is attributed to a command when a token
+// names it directly (`evaluate -quick`), via `./cmd/NAME`, or via a
+// `go run ./cmd/NAME` invocation; every `-flag` token after that point
+// on the line is then required to be registered by the command (flags
+// are discovered by parsing the command's source for flag.String /
+// flag.Bool / ... / flag.*Var calls). Tokens on lines with no known
+// command (curl, go test, shell built-ins) are ignored.
+//
+// Usage:
+//
+//	go run ./tools/docscheck          # from the repo root
+//	go run ./tools/docscheck -root .. # explicit repo root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+
+	pkgDirs, err := goPackageDirs(*root, "internal", "cmd")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, dir := range pkgDirs {
+		ok, err := hasPackageDoc(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			rel, _ := filepath.Rel(*root, dir)
+			problems = append(problems, fmt.Sprintf("%s: package has no package-level doc comment", rel))
+		}
+	}
+
+	cmdFlags, err := registeredFlags(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
+		p := filepath.Join(*root, doc)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, checkDocFlags(doc, string(data), cmdFlags)...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "docscheck: %s\n", p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented, %d commands cross-checked against README.md and EXPERIMENTS.md\n",
+		len(pkgDirs), len(cmdFlags))
+}
+
+// goPackageDirs returns every directory under root/<sub> (for each sub)
+// that contains at least one non-test .go file.
+func goPackageDirs(root string, subs ...string) ([]string, error) {
+	var dirs []string
+	for _, sub := range subs {
+		err := filepath.Walk(filepath.Join(root, sub), func(path string, info os.FileInfo, err error) error {
+			if err != nil || !info.IsDir() {
+				return err
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				name := e.Name()
+				if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+					dirs = append(dirs, path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageDoc reports whether any non-test file in dir attaches a doc
+// comment to its package clause.
+func hasPackageDoc(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// registeredFlags parses every cmd/* main package and returns, per
+// command name, the set of flag names it registers via the flag package
+// (flag.String, flag.Bool, ..., and the *Var / Func forms).
+func registeredFlags(root string) (map[string]map[string]bool, error) {
+	cmdRoot := filepath.Join(root, "cmd")
+	ents, err := os.ReadDir(cmdRoot)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]bool)
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		flags, err := flagsInDir(filepath.Join(cmdRoot, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		// The flag package registers -h/-help implicitly.
+		flags["h"] = true
+		flags["help"] = true
+		out[e.Name()] = flags
+	}
+	return out, nil
+}
+
+func flagsInDir(dir string) (map[string]bool, error) {
+	flags := make(map[string]bool)
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok || recv.Name != "flag" {
+					return true
+				}
+				nameArg := -1
+				switch sel.Sel.Name {
+				case "Bool", "Int", "Int64", "Uint", "Uint64", "String",
+					"Float64", "Duration", "Func", "TextVar":
+					nameArg = 0
+				case "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var",
+					"StringVar", "Float64Var", "DurationVar", "Var":
+					nameArg = 1
+				default:
+					return true
+				}
+				if nameArg >= len(call.Args) {
+					return true
+				}
+				if lit, ok := call.Args[nameArg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if name, err := strconv.Unquote(lit.Value); err == nil {
+						flags[name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return flags, nil
+}
+
+var flagToken = regexp.MustCompile(`^-{1,2}([a-zA-Z][a-zA-Z0-9-]*)`)
+
+// checkDocFlags scans code lines of a markdown document and verifies
+// every -flag passed to a known command against that command's
+// registered flag set. Returns one problem string per unknown flag.
+func checkDocFlags(docName, text string, cmdFlags map[string]map[string]bool) []string {
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		// Code lines: fenced blocks, or 4-space/tab indented blocks.
+		if !inFence && !strings.HasPrefix(line, "    ") && !strings.HasPrefix(line, "\t") {
+			continue
+		}
+		cmd := ""
+		for _, tok := range strings.Fields(trimmed) {
+			tok = strings.Trim(tok, "`\"'();|&")
+			if cmd == "" {
+				if c := commandName(tok, cmdFlags); c != "" {
+					cmd = c
+				}
+				continue
+			}
+			m := flagToken.FindStringSubmatch(tok)
+			if m == nil {
+				continue
+			}
+			if !cmdFlags[cmd][m[1]] {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: command %q has no flag -%s", docName, i+1, cmd, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+// commandName maps a shell token onto one of the repo's commands:
+// the bare name, ./cmd/NAME, or a path ending in /NAME.
+func commandName(tok string, cmdFlags map[string]map[string]bool) string {
+	tok = strings.TrimSuffix(tok, "/")
+	base := tok
+	if i := strings.LastIndex(tok, "/"); i >= 0 {
+		base = tok[i+1:]
+	}
+	if _, ok := cmdFlags[base]; !ok {
+		return ""
+	}
+	// Bare name or an explicit path to the command.
+	if base == tok || strings.Contains(tok, "cmd/"+base) || strings.HasPrefix(tok, "./") || strings.HasPrefix(tok, "/") {
+		return base
+	}
+	return ""
+}
