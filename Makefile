@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet prof prof-golden server docs-check
+.PHONY: build test race fuzz bench bench-smoke vet prof prof-golden server docs-check
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,27 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Short fuzz smoke of the partition bijection; CI runs this bounded,
-# `make fuzz FUZZTIME=10m` digs deeper locally.
+# Short fuzz smoke of the partition bijection and the sharded-engine
+# quantum equivalence; CI runs these bounded, `make fuzz FUZZTIME=10m`
+# digs deeper locally. (go test accepts one -fuzz pattern per run, so
+# each target is its own invocation.)
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzEpochQuantum -fuzztime=$(FUZZTIME) ./internal/engine
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The scaling-benchmark gate the CI enforces: one iteration of every
+# BenchmarkRunSharded cell (shards x epoch quantum) under the race
+# detector, so the windowed coordinator, the provisional-seq merge and
+# the token path are exercised on every PR even when no test sweep
+# happens to hit a given (shards, quantum) combination. Timings from
+# this target are meaningless (race overhead); BENCH_shard.json records
+# the real curve measured without instrumentation.
+bench-smoke:
+	$(GO) test -race -run='^$$' -bench=BenchmarkRunSharded -benchtime=1x ./internal/engine
 
 # The daemon gate the CI enforces: the ctad end-to-end suite (cold/warm
 # byte-identity, 16-way request dedup, client-disconnect cancellation,

@@ -10,15 +10,18 @@
 //	ctacluster -app MM -json
 //	ctacluster -all -parallel 8
 //	ctacluster -app MM -shards 4
+//	ctacluster -app MM -shards 4 -quantum 1
 //	ctacluster -list
 //
 // Unknown -app or -arch names exit non-zero with the known names on
 // stderr. -parallel fans the -all categorization out over workers.
 // -json emits the analysis as one api.OptimizeResponse document — the
 // exact schema the ctad daemon's POST /v1/optimize returns — and
-// requires -app. -shards parallelizes inside each simulation
-// (engine.Config.Shards); all reported metrics are byte-identical to
-// the serial engine's at every setting.
+// requires -app. -shards parallelizes inside each simulation — probe
+// runs included — (engine.Config.Shards) and -quantum sets the sharded
+// engine's barrier window in cycles (engine.Config.EpochQuantum;
+// 0 = auto-derive); all reported metrics are byte-identical to the
+// serial engine's at every setting.
 package main
 
 import (
@@ -44,10 +47,15 @@ func main() {
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
 	parallel := flag.Int("parallel", 0, "analyses in flight for -all (0 = one per CPU, 1 = serial)")
 	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
+	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
 
 	shards, err := cli.Shards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quantum, err := cli.Quantum(*quantumFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism, Shards: shards})
+		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism, Shards: shards, EpochQuantum: quantum})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,12 +116,13 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("framework: analyzing %s (%s) on %s...\n", app.Name(), app.LongName(), ar.Name)
 	}
-	plan, err := locality.Optimize(app, ar)
+	plan, err := locality.OptimizeExec(app, ar, locality.Exec{Shards: shards, EpochQuantum: quantum})
 	if err != nil {
 		log.Fatal(err)
 	}
 	runCfg := engine.DefaultConfig(ar)
 	runCfg.Shards = shards
+	runCfg.EpochQuantum = quantum
 	if *jsonOut {
 		base, err := engine.Run(runCfg, app)
 		if err != nil {

@@ -10,12 +10,15 @@
 //	ctad -addr 127.0.0.1:9000     # explicit listen address
 //	ctad -workers 4 -parallel 8   # 4 concurrent requests, 8 sims each
 //	ctad -shards 4                # shard each simulation across 4 goroutines
+//	ctad -shards 4 -quantum 1     # sharded, barrier every timestamp
 //	ctad -cache-mb 256            # larger result cache
 //
 // -shards sets the default engine.Config.Shards for every simulation
 // the daemon runs (simulate requests may override it per request),
-// trading per-request latency against throughput; results and cache
-// keys are identical at every setting.
+// trading per-request latency against throughput; -quantum sets the
+// default sharded barrier window in cycles (engine.Config.EpochQuantum;
+// 0 = auto-derive, also overridable per simulate request); results and
+// cache keys are identical at every setting.
 //
 // Endpoints: POST /v1/simulate, /v1/sweep, /v1/optimize; GET /v1/table1,
 // /v1/table2, /healthz, /metrics. See README "Serving" for a curl
@@ -48,6 +51,7 @@ func main() {
 	maxQueue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
 	parallel := flag.Int("parallel", 0, "simulations in flight per sweep (0 = one per CPU)")
 	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
+	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache size in MiB")
 	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
@@ -64,11 +68,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quantum, err := cli.Quantum(*quantumFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxQueue:       *maxQueue,
 		Parallelism:    parallelism,
 		Shards:         shards,
+		EpochQuantum:   quantum,
 		CacheBytes:     *cacheMB << 20,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
@@ -94,8 +103,8 @@ func main() {
 		done <- srv.Shutdown(drainCtx)
 	}()
 
-	log.Printf("serving on %s (workers=%d queue=%d parallel=%d shards=%d cache=%dMiB)",
-		*addr, *workers, *maxQueue, parallelism, shards, *cacheMB)
+	log.Printf("serving on %s (workers=%d queue=%d parallel=%d shards=%d quantum=%d cache=%dMiB)",
+		*addr, *workers, *maxQueue, parallelism, shards, quantum, *cacheMB)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

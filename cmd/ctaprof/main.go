@@ -17,8 +17,10 @@
 //
 // App and platform names match case-insensitively; unknown names are an
 // error (non-zero exit), never a silent skip. -shards parallelizes the
-// simulation itself (engine.Config.Shards); the recorded trace and
-// metrics are byte-identical to the serial engine's at every setting.
+// simulation itself (engine.Config.Shards) and -quantum sets the
+// sharded engine's barrier window in cycles (engine.Config.EpochQuantum;
+// 0 = auto-derive); the recorded trace and metrics are byte-identical
+// to the serial engine's at every setting.
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 	interval := flag.Int64("interval", 4096, "counter-snapshot period in cycles (0 = off)")
 	outDir := flag.String("o", ".", "output directory for the trace and metrics files")
 	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
+	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -95,9 +98,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quantum, err := cli.Quantum(*quantumFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := engine.DefaultConfig(ar)
 	cfg.Profiler = tr
 	cfg.Shards = shards
+	cfg.EpochQuantum = quantum
 	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,11 @@
 //	ctatrace -app ATX -arch GTX570 -clustered # agent-based clustering
 //	ctatrace -app ATX -arch GTX570 -sm 0      # one SM's timeline
 //	ctatrace -app ATX -arch GTX570 -shards 4  # sharded engine, same trace
+//
+// -shards parallelizes the simulation itself (engine.Config.Shards) and
+// -quantum sets the sharded engine's barrier window in cycles
+// (engine.Config.EpochQuantum; 0 = auto-derive); the printed trace is
+// byte-identical to the serial engine's at every setting.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 	agents := flag.Int("agents", 0, "active agents per SM when -clustered (0 = max)")
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
 	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
+	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -60,8 +66,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quantum, err := cli.Quantum(*quantumFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := engine.DefaultConfig(ar)
 	cfg.Shards = shards
+	cfg.EpochQuantum = quantum
 	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)

@@ -12,13 +12,17 @@
 //	evaluate -csv DIR            # additionally write CSV files to DIR
 //	evaluate -parallel 8         # fan the sweep out over 8 workers
 //	evaluate -shards 4           # shard each simulation across 4 goroutines
+//	evaluate -shards 4 -quantum 1 # sharded, barrier every timestamp
 //	evaluate -json               # machine-readable output (ctad schema)
 //
 // Unknown -arch or -apps names are an error (non-zero exit), never a
 // silent skip. -parallel 0 (the default) uses one worker per CPU;
 // -shards parallelizes inside each simulation (engine.Config.Shards;
-// default 1 = serial engine, 0 = one shard per CPU); results are
-// byte-identical for every parallelism and shard setting.
+// default 1 = serial engine, 0 = one shard per CPU); -quantum sets the
+// sharded engine's barrier window in cycles (engine.Config.EpochQuantum;
+// default 0 = auto-derive from the architecture's latency table);
+// results are byte-identical for every parallelism, shard and quantum
+// setting.
 //
 // -json renders the internal/api response structs the ctad daemon
 // serves, so scripts can consume CLI and HTTP output with one decoder:
@@ -53,6 +57,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
 	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
+	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
 	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
@@ -97,13 +102,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quantum, err := cli.Quantum(*quantumFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	progress := func(string) {}
 	if *verbose {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
 	}
 
-	opt := eval.Options{Quick: *quick, Parallelism: parallelism, Shards: shards}
+	opt := eval.Options{Quick: *quick, Parallelism: parallelism, Shards: shards, EpochQuantum: quantum}
 	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
 	if err != nil {
 		log.Fatal(err)

@@ -35,6 +35,13 @@ type SimulateRequest struct {
 	// therefore cache keys and response bytes — are identical at every
 	// setting, so cached entries are shared across shard counts.
 	Shards int `json:"shards,omitempty"`
+	// EpochQuantum widens the sharded engine's barrier window to this
+	// many cycles (engine.Config.EpochQuantum); 0 means the daemon's
+	// configured default (normally auto-derived from the architecture's
+	// latency table), 1 barriers at every timestamp. Execution-only like
+	// Shards: results, cache keys and response bytes are identical at
+	// every setting. Ignored unless the run is sharded.
+	EpochQuantum int64 `json:"epoch_quantum,omitempty"`
 }
 
 // MetricRow is one nvprof-style counter (internal/prof names).

@@ -113,6 +113,20 @@ func Shards(n int) (int, error) {
 	return n, nil
 }
 
+// Quantum resolves the -quantum flag controlling the sharded engine's
+// barrier window width (engine.Config.EpochQuantum): 0 — the flag
+// default — auto-derives the widest safe window from the architecture's
+// latency table; 1 barriers at every distinct timestamp (the original
+// sharded schedule); larger values pass through; negative values are an
+// error. Results are byte-identical at every setting; the flag only
+// matters when -shards enables the sharded engine.
+func Quantum(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-quantum must be >= 0, got %d", n)
+	}
+	return n, nil
+}
+
 // platformNames lists every resolvable platform name, sorted, so the
 // unknown-platform error reads as a stable reference list rather than
 // whatever order the descriptors happen to be registered in.

@@ -18,7 +18,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"ctacluster/internal/arch"
 	"ctacluster/internal/cache"
@@ -60,6 +59,20 @@ type Config struct {
 	// It is deliberately excluded from the rescache key. See shard.go
 	// and DESIGN.md §9.
 	Shards int
+	// EpochQuantum widens the sharded epoch to a K-cycle window: the
+	// lanes run K cycles between coordinator barriers, draining their own
+	// events (self-rescheduled ones included) without synchronizing.
+	// 0 auto-derives the widest safe K from the architecture's latency
+	// table (DeriveEpochQuantum); 1 reproduces the one-barrier-per-
+	// timestamp schedule of the original sharded engine. Like Shards this
+	// is execution-only — byte-identical outputs at every setting, and
+	// excluded from the rescache key. Ignored when Shards <= 1.
+	EpochQuantum int64
+	// ShardStats, when non-nil, receives the run's shard-coordination
+	// counters (windows released, events stepped, effective quantum).
+	// Observability only: it never influences results, and is excluded
+	// from the rescache key like the other execution-only fields.
+	ShardStats *ShardStats
 }
 
 // DefaultConfig returns the customary configuration for an architecture:
@@ -177,13 +190,18 @@ type lane struct {
 	now int64
 
 	// Sharded-run state; zero and unused on the serial path.
-	stepSeq   uint64         // seq of the event currently being stepped
-	emitIdx   int32          // profiler emissions made by this step so far
-	holds     bool           // this step already holds the global token
-	events    int64          // events stepped this epoch (ctx-poll cadence)
-	watermark atomic.Uint64  // seq of this lane's next incomplete event
-	pending   []pendingEvent // schedule calls logged during this epoch
-	buf       []taggedEvent  // buffered profiler emissions
+	stepSeq  uint64         // seq of the event currently being stepped
+	stepNode *callNode      // its call chain when the seq is provisional
+	stepIdx  int32          // its pending index, or -1 with a serial seq
+	emitIdx  int32          // profiler emissions made by this step so far
+	holds    bool           // this step already holds the global token
+	events   int64          // events stepped this window (ctx-poll cadence)
+	pos      lanePos        // published position for the global-state token
+	pending  []pendingEvent // schedule calls logged during this window
+	assigned []uint64       // serial seqs the merge assigned to pending
+	arena    nodeArena      // window-lifetime callNode storage
+	buf      []taggedEvent  // buffered profiler emissions
+	bufMark  int            // buf prefix already carrying serial seqs
 }
 
 // sim is the run state.
@@ -350,6 +368,17 @@ func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, erro
 		runErr = s.sh.run()
 	} else {
 		runErr = s.loop()
+	}
+	if cfg.ShardStats != nil {
+		*cfg.ShardStats = ShardStats{}
+		if s.sh != nil {
+			*cfg.ShardStats = ShardStats{
+				Shards:  len(s.lanes),
+				Quantum: s.sh.quantum,
+				Windows: s.sh.windows,
+				Events:  s.sh.events,
+			}
+		}
 	}
 	if runErr != nil {
 		return nil, runErr

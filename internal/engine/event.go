@@ -8,6 +8,12 @@ type event struct {
 	at   int64
 	seq  uint64 // tie-break for determinism
 	warp *warpState
+	// node is non-nil only for events scheduled inside the current shard
+	// window, whose serial seq is not assigned yet: seq then holds a
+	// provisional value (provBase + pending index, heap-ordered the same
+	// as the eventual serial seq within this lane) and node records the
+	// schedule call's position for cross-lane ordering (see shard.go).
+	node *callNode
 }
 
 type eventQueue []event
@@ -49,6 +55,14 @@ func (s *scheduler) schedule(at int64, w *warpState) {
 // tie-break stays byte-identical at every shard count (see shard.go).
 func (s *scheduler) scheduleSeq(at int64, seq uint64, w *warpState) {
 	heap.Push(&s.q, event{at: at, seq: seq, warp: w})
+}
+
+// schedulePending enqueues w under a provisional sequence number for
+// immediate in-window execution on a sharded lane; n carries the
+// schedule call's position until the window-edge merge assigns the
+// serial seq (see shard.go).
+func (s *scheduler) schedulePending(at int64, seq uint64, n *callNode, w *warpState) {
+	heap.Push(&s.q, event{at: at, seq: seq, warp: w, node: n})
 }
 
 func (s *scheduler) next() (event, bool) {

@@ -1,0 +1,66 @@
+package engine
+
+import "ctacluster/internal/arch"
+
+// quantumArchFields pins the number of fields in arch.Arch that
+// DeriveEpochQuantum was written against. The derivation scans a fixed
+// set of latency fields; if the descriptor grows a new field, the
+// property test in quantum_internal_test.go fails until someone decides
+// whether the new field is a cross-lane-visible latency that must join
+// the min below. Keep in sync with rescache's archFieldCount.
+const quantumArchFields = 24
+
+// DeriveEpochQuantum returns the widest safe epoch quantum for ar: one
+// cycle less than the minimum latency at which one lane's action can
+// become visible to another lane's locally scheduled work.
+//
+// The sharded engine lets each lane run K cycles ahead of the barrier
+// (shard.go). Cross-lane visibility only ever flows through the shared
+// memory hierarchy: a warp observes other SMs' behaviour no sooner than
+// an L1 hit returns (L1Latency), and L2/DRAM excursions are slower
+// still — so the min over {L1Latency, L2Latency, DRAMLatency} bounds
+// the lookahead, exactly the conservative-PDES argument. The engine's
+// own pipeline constants (issueInterval, barrierLatency, storeAckLatency,
+// dispatchLatency) are lane-local delays: they reschedule warps on the
+// same SM, and the shared-state excursions they guard (dispatcher,
+// records, occupancy) happen under the global-state token at the moment
+// of the step, not after the delay, so they do not cap K.
+//
+// The derived K is a scheduling policy, not the correctness boundary:
+// the generalized token in shard.go reproduces the exact serial order
+// of every shared-state touch at any K (the differential matrix in
+// quantum_test.go runs past this bound on purpose). Deriving K below
+// the visibility horizon keeps nearly all in-window work free of token
+// waits, which is where the barrier-count win comes from.
+func DeriveEpochQuantum(ar *arch.Arch) int64 {
+	k := int64(ar.L1Latency)
+	if int64(ar.L2Latency) < k {
+		k = int64(ar.L2Latency)
+	}
+	if int64(ar.DRAMLatency) < k {
+		k = int64(ar.DRAMLatency)
+	}
+	k--
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ShardStats reports coordination counters from a sharded run when a
+// pointer to it is handed to Config.ShardStats. All fields are zero
+// after a serial run (Shards <= 1). Execution-only observability: the
+// counters describe how the run was driven, never what it computed.
+type ShardStats struct {
+	// Shards is the effective lane count after clamping to the SM count.
+	Shards int
+	// Quantum is the effective epoch window width in cycles (the
+	// auto-derived value when Config.EpochQuantum was <= 0).
+	Quantum int64
+	// Windows counts coordinator barriers: epoch windows released over
+	// the run. The PR-4 engine paid one per distinct timestamp; the
+	// quantum engine pays one per Quantum-cycle window with work in it.
+	Windows int64
+	// Events counts simulation events stepped by the lanes.
+	Events int64
+}

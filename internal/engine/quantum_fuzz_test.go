@@ -1,0 +1,86 @@
+package engine
+
+// FuzzEpochQuantum drives the sharded engine's differential contract
+// from randomly shaped inputs: a deterministic random kernel (op mix,
+// grid and block shape seeded by the fuzzer) run at a fuzzer-chosen
+// (Shards, EpochQuantum) point must reproduce the serial engine's
+// Result exactly — including quanta far past the derived safety bound,
+// where correctness rests entirely on the global-state token. The
+// structured sweeps in quantum_test.go cover the real workloads; this
+// target explores kernel shapes they do not (degenerate grids, odd
+// barrier placement, store-heavy mixes, address collisions across
+// CTAs).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// fuzzKernel builds a deterministic random kernel: every CTA derives
+// its op list from (seed, CTA id) alone, so the kernel is pure — the
+// engine may call Work in any dispatch order and every run sees the
+// same program. All warps of a CTA share one op list, which keeps
+// barriers trivially well-formed.
+func fuzzKernel(seed int64, ctas, warps int) *testKernel {
+	k := simpleKernel(ctas, warps, func(l kernel.Launch, w int) []kernel.Op {
+		rng := rand.New(rand.NewSource(seed ^ int64(l.CTA)*0x9e3779b9))
+		n := 1 + rng.Intn(8)
+		ops := make([]kernel.Op, 0, n)
+		for i := 0; i < n; i++ {
+			// Addresses collide across CTAs on purpose: shared lines are
+			// what make the memory system order-sensitive.
+			base := uint64(0x1000 + rng.Intn(4)*4096 + rng.Intn(8)*128)
+			switch rng.Intn(6) {
+			case 0, 1:
+				ops = append(ops, kernel.Compute(1+rng.Intn(60)))
+			case 2, 3:
+				ops = append(ops, kernel.Load(base, int64(4*(1+rng.Intn(2))), 32, 4))
+			case 4:
+				ops = append(ops, kernel.Store(base, 4, 32, 4))
+			default:
+				ops = append(ops, kernel.Barrier())
+			}
+		}
+		return ops
+	})
+	k.name = "fuzz"
+	return k
+}
+
+func FuzzEpochQuantum(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(2), uint8(0))
+	f.Add(int64(7), uint8(23), uint8(4), uint8(5), uint8(1))
+	f.Add(int64(42), uint8(11), uint8(1), uint8(7), uint8(200))
+	f.Add(int64(-99), uint8(1), uint8(3), uint8(3), uint8(13))
+	f.Fuzz(func(t *testing.T, seed int64, ctas, warps, shards, quantum uint8) {
+		nctas := 1 + int(ctas%24)
+		nwarps := 1 + int(warps%4)
+		nshards := 2 + int(shards%7) // 2..8; GTX750Ti clamps to its 5 SMs
+		q := int64(quantum) % 256    // 0 = auto; large values cross the derived bound
+		ar := arch.GTX750Ti()        // smallest platform: fastest runs, tightest contention
+
+		k := fuzzKernel(seed, nctas, nwarps)
+		serial, serr := Run(DefaultConfig(ar), k)
+		cfg := DefaultConfig(ar)
+		cfg.Shards = nshards
+		cfg.EpochQuantum = q
+		got, gerr := Run(cfg, k)
+
+		switch {
+		case serr != nil && gerr != nil:
+			if serr.Error() != gerr.Error() {
+				t.Fatalf("error strings diverge at shards=%d quantum=%d:\nserial %q\nsharded %q", nshards, q, serr, gerr)
+			}
+		case serr != nil || gerr != nil:
+			t.Fatalf("one path errored at shards=%d quantum=%d: serial=%v sharded=%v", nshards, q, serr, gerr)
+		case !reflect.DeepEqual(serial, got):
+			t.Fatalf("results diverge at shards=%d quantum=%d (cycles %d vs %d, L2 read txns %d vs %d)",
+				nshards, q, serial.Cycles, got.Cycles,
+				serial.L2ReadTransactions(), got.L2ReadTransactions())
+		}
+	})
+}

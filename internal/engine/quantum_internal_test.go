@@ -1,0 +1,91 @@
+package engine
+
+// In-package properties of the epoch-quantum derivation: the auto-
+// derived window must sit strictly below every cross-lane-visible
+// latency of every registered platform, and the arch.Arch descriptor is
+// reflection-pinned so a newly added latency field cannot be silently
+// omitted from the derivation.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctacluster/internal/arch"
+)
+
+// derivationArches is every registered platform plus the small
+// off-table one the clamp tests use.
+func derivationArches() []*arch.Arch {
+	return append(arch.All(), arch.GTX750Ti())
+}
+
+// TestDeriveEpochQuantumSound is the soundness property of the
+// conservative-PDES bound: for every platform, the derived K is at
+// least 1 (progress) and strictly below every latency field of the
+// descriptor — a lane running K cycles ahead cannot observe another
+// lane's action before its window ends, because no cross-lane effect
+// propagates faster than the slowest-to-fastest of these latencies.
+// The latency fields are found by reflection (suffix "Latency"), so the
+// assertion automatically covers latency fields added later.
+func TestDeriveEpochQuantumSound(t *testing.T) {
+	typ := reflect.TypeOf(arch.Arch{})
+	latencyFields := 0
+	for _, ar := range derivationArches() {
+		k := DeriveEpochQuantum(ar)
+		if k < 1 {
+			t.Errorf("%s: derived quantum %d < 1 — the coordinator could not make progress", ar.Name, k)
+		}
+		v := reflect.ValueOf(*ar)
+		n := 0
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !strings.HasSuffix(f.Name, "Latency") {
+				continue
+			}
+			n++
+			lat := v.Field(i).Int()
+			if k >= lat {
+				t.Errorf("%s: derived quantum %d >= %s %d — a lane could run past a visibility horizon",
+					ar.Name, k, f.Name, lat)
+			}
+		}
+		latencyFields = n
+	}
+	if latencyFields != 3 {
+		t.Errorf("found %d *Latency fields in arch.Arch, expected 3 (L1Latency, L2Latency, DRAMLatency) — update DeriveEpochQuantum's min", latencyFields)
+	}
+}
+
+// TestDeriveEpochQuantumFieldCountPinned is the tripwire for silent
+// omission: DeriveEpochQuantum scans a fixed field set, so any growth
+// of arch.Arch — latency or not — must be reviewed against the
+// derivation (and quantumArchFields bumped) before this passes again.
+func TestDeriveEpochQuantumFieldCountPinned(t *testing.T) {
+	if n := reflect.TypeOf(arch.Arch{}).NumField(); n != quantumArchFields {
+		t.Fatalf("arch.Arch has %d fields but DeriveEpochQuantum was written against %d — decide whether the new field is a cross-lane-visible latency, update the derivation if so, then bump quantumArchFields", n, quantumArchFields)
+	}
+}
+
+// TestDeriveEpochQuantumGoldens pins the concrete derived values so an
+// accidental change to either the latency tables or the derivation is
+// visible in review rather than just shifting barrier counts silently.
+func TestDeriveEpochQuantumGoldens(t *testing.T) {
+	want := map[string]int64{
+		"GTX570":   124,
+		"TeslaK40": 90,
+		"GTX980":   130,
+		"GTX1080":  131,
+		"GTX750Ti": 109,
+	}
+	for _, ar := range derivationArches() {
+		w, ok := want[ar.Name]
+		if !ok {
+			t.Errorf("no golden quantum for %s — add one", ar.Name)
+			continue
+		}
+		if got := DeriveEpochQuantum(ar); got != w {
+			t.Errorf("%s: derived quantum = %d, want %d", ar.Name, got, w)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package engine_test
+
+// Differential goldens for the epoch-quantum dimension of the sharded
+// engine: Config.EpochQuantum must be as invisible as Config.Shards in
+// every output. shard_test.go already sweeps shard counts across the
+// full workload × platform grid at the default (auto-derived) quantum;
+// this file sweeps the quantum axis — including one setting PAST the
+// derived safety bound, which the generalized global-state token must
+// absorb without a byte of divergence — over a category-spanning app
+// subset, and pins the auto-derivation, the barrier-count win and the
+// rescache carve-out for the new fields.
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/rescache"
+	"ctacluster/internal/workloads"
+)
+
+// quantumSettings is the EpochQuantum sweep for one platform: the
+// degenerate one-timestamp window (the original sharded schedule), the
+// smallest widened window, auto-derivation, the derived bound's
+// neighbours — minLat is one PAST DeriveEpochQuantum (the exact
+// visibility horizon) and minLat+1 strictly beyond it, both of which
+// must still be byte-identical because correctness comes from the
+// token, not the window width. Under instrumentation the sweep keeps
+// the degenerate, auto and past-the-bound settings.
+func quantumSettings(ar *arch.Arch) []int64 {
+	minLat := int64(ar.L1Latency)
+	if int64(ar.L2Latency) < minLat {
+		minLat = int64(ar.L2Latency)
+	}
+	if int64(ar.DRAMLatency) < minLat {
+		minLat = int64(ar.DRAMLatency)
+	}
+	if raceEnabled || testing.Short() {
+		return []int64{1, 0, minLat + 1}
+	}
+	return []int64{1, 2, 0, minLat, minLat + 1}
+}
+
+// quantumShards is the shard axis of the matrix: serial (quantum must
+// be a no-op), the finest even split, a mid split and an odd
+// non-divisor. Instrumented runs keep the boundary counts.
+func quantumShards() []int {
+	if raceEnabled || testing.Short() {
+		return []int{2, 7}
+	}
+	return []int{1, 2, 4, 7}
+}
+
+// quantumApps spans the locality categories (the same subset the
+// instrumented shard sweep uses) — the quantum axis multiplies the
+// matrix, so the full Table 2 set stays with shard_test.go, which
+// already exercises every workload at the auto-derived quantum.
+func quantumApps(t *testing.T) []*workloads.App {
+	t.Helper()
+	var apps []*workloads.App
+	for _, n := range []string{"KMN", "MM", "ATX", "HST", "NW", "MON"} {
+		a, err := workloads.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// TestQuantumMatchesSerial is the differential matrix of the quantum
+// contract: Shards × EpochQuantum × workloads × platforms, every cell
+// deep-equal to the serial oracle — cycle counts, cache statistics,
+// per-CTA records, dispatch orders and the bit pattern of
+// AchievedOccupancy.
+func TestQuantumMatchesSerial(t *testing.T) {
+	for _, ar := range diffArches() {
+		for _, app := range quantumApps(t) {
+			serial, err := engine.Run(engine.DefaultConfig(ar), app)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", app.Name(), ar.Name, err)
+			}
+			for _, n := range quantumShards() {
+				for _, q := range quantumSettings(ar) {
+					cfg := engine.DefaultConfig(ar)
+					cfg.Shards = n
+					cfg.EpochQuantum = q
+					got, err := engine.Run(cfg, app)
+					if err != nil {
+						t.Fatalf("%s/%s shards=%d quantum=%d: %v", app.Name(), ar.Name, n, q, err)
+					}
+					if !reflect.DeepEqual(serial, got) {
+						t.Errorf("%s/%s: shards=%d quantum=%d differs from serial (cycles %d vs %d, L2 read txns %d vs %d, achieved occupancy %v vs %v)",
+							app.Name(), ar.Name, n, q, serial.Cycles, got.Cycles,
+							serial.L2ReadTransactions(), got.L2ReadTransactions(),
+							serial.AchievedOccupancy, got.AchievedOccupancy)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantumProfStreamByteIdentical extends the profiler half of the
+// contract to the quantum axis: the full event stream — in-window
+// emissions are tagged with provisional seqs and rewritten at the
+// window-edge merge — and the interval snapshots must match the serial
+// trace exactly at every window width.
+func TestQuantumProfStreamByteIdentical(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arches := []*arch.Arch{arch.TeslaK40(), arch.GTX980()}
+	if raceEnabled || testing.Short() {
+		arches = arches[:1]
+	}
+	for _, ar := range arches {
+		trace := func(shards int, quantum int64) *prof.Trace {
+			tr := prof.NewTrace(prof.TraceConfig{
+				Kernel: app.Name(), Arch: ar.Name, SMs: ar.SMs,
+				Events:         prof.MaskCTA | prof.MaskStall | prof.MaskMem | prof.MaskCache | prof.MaskL2,
+				SampleInterval: 5000,
+			})
+			cfg := engine.DefaultConfig(ar)
+			cfg.Profiler = tr
+			cfg.Shards = shards
+			cfg.EpochQuantum = quantum
+			if _, err := engine.Run(cfg, app); err != nil {
+				t.Fatalf("%s shards=%d quantum=%d: %v", ar.Name, shards, quantum, err)
+			}
+			return tr
+		}
+		serial := trace(1, 0)
+		for _, q := range quantumSettings(ar) {
+			got := trace(4, q)
+			if !reflect.DeepEqual(serial.Events(), got.Events()) {
+				t.Errorf("%s: quantum=%d event stream differs (%d vs %d events)",
+					ar.Name, q, len(serial.Events()), len(got.Events()))
+			}
+			if !reflect.DeepEqual(serial.Snapshots(), got.Snapshots()) {
+				t.Errorf("%s: quantum=%d snapshot stream differs (%d vs %d snapshots)",
+					ar.Name, q, len(serial.Snapshots()), len(got.Snapshots()))
+			}
+		}
+	}
+}
+
+// TestQuantumErrorStringsMatchSerial pins the third clause of the
+// contract: error strings. The windowed coordinator caps each window at
+// MaxCycles+1, so an overrunning kernel fails with exactly the serial
+// loop's message — same text, same cycle bound — at every (Shards,
+// EpochQuantum) point.
+func TestQuantumErrorStringsMatchSerial(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	run := func(shards int, quantum int64) error {
+		cfg := engine.DefaultConfig(ar)
+		cfg.MaxCycles = 5000 // MM needs far more; every run must abort
+		cfg.Shards = shards
+		cfg.EpochQuantum = quantum
+		_, err := engine.Run(cfg, app)
+		return err
+	}
+	serial := run(1, 0)
+	if serial == nil {
+		t.Fatal("serial run unexpectedly completed within 5000 cycles")
+	}
+	for _, n := range quantumShards() {
+		for _, q := range quantumSettings(ar) {
+			got := run(n, q)
+			if got == nil {
+				t.Errorf("shards=%d quantum=%d: expected the MaxCycles error, got success", n, q)
+				continue
+			}
+			if got.Error() != serial.Error() {
+				t.Errorf("shards=%d quantum=%d error differs:\n got %q\nwant %q", n, q, got, serial)
+			}
+		}
+	}
+}
+
+// TestQuantumBarrierReduction pins the point of the tentpole with the
+// engine's own counters: on MM/TeslaK40 the auto-derived window must
+// pay at least 5x fewer coordinator barriers than the one-timestamp
+// schedule (the measured ratio is ~90x — one window per derived-K
+// cycles instead of one per distinct timestamp), while stepping exactly
+// the same number of events. Also pins the ShardStats channel itself:
+// auto-derivation reports the DeriveEpochQuantum value, and a serial
+// run zeroes the struct.
+func TestQuantumBarrierReduction(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	run := func(shards int, quantum int64) engine.ShardStats {
+		var st engine.ShardStats
+		cfg := engine.DefaultConfig(ar)
+		cfg.Shards = shards
+		cfg.EpochQuantum = quantum
+		cfg.ShardStats = &st
+		if _, err := engine.Run(cfg, app); err != nil {
+			t.Fatalf("shards=%d quantum=%d: %v", shards, quantum, err)
+		}
+		return st
+	}
+
+	narrow := run(4, 1)
+	auto := run(4, 0)
+	if want := engine.DeriveEpochQuantum(ar); auto.Quantum != want {
+		t.Errorf("auto-derived quantum = %d, want DeriveEpochQuantum = %d", auto.Quantum, want)
+	}
+	if narrow.Quantum != 1 || narrow.Shards != 4 || auto.Shards != 4 {
+		t.Errorf("stats misreport the run shape: narrow=%+v auto=%+v", narrow, auto)
+	}
+	if narrow.Events != auto.Events || auto.Events == 0 {
+		t.Errorf("event counts differ across window widths: %d vs %d", narrow.Events, auto.Events)
+	}
+	if auto.Windows == 0 || narrow.Windows < 5*auto.Windows {
+		t.Errorf("auto quantum paid %d barriers vs %d at quantum=1 — reduction %.1fx, want >= 5x",
+			auto.Windows, narrow.Windows, float64(narrow.Windows)/float64(auto.Windows))
+	}
+
+	if serial := run(1, 0); serial != (engine.ShardStats{}) {
+		t.Errorf("serial run left stats non-zero: %+v", serial)
+	}
+}
+
+// TestQuantumRescacheKeyInvariant extends the cache-layer carve-out to
+// the new execution-only fields: neither EpochQuantum nor an attached
+// ShardStats sink may move the rescache key, so a daemon changing its
+// window width keeps serving its existing entries.
+func TestQuantumRescacheKeyInvariant(t *testing.T) {
+	for _, ar := range arch.All() {
+		base := engine.DefaultConfig(ar)
+		want := rescache.ConfigKey("MM/BSL", base)
+		for _, n := range []int{1, 4} {
+			for _, q := range quantumSettings(ar) {
+				cfg := base
+				cfg.Shards = n
+				cfg.EpochQuantum = q
+				cfg.ShardStats = &engine.ShardStats{}
+				if got := rescache.ConfigKey("MM/BSL", cfg); got != want {
+					t.Errorf("%s: rescache key changed with Shards=%d EpochQuantum=%d:\n got %s\nwant %s",
+						ar.Name, n, q, got, want)
+				}
+			}
+		}
+	}
+}

@@ -16,41 +16,71 @@ package engine
 //  2. Strictly-future scheduling: every latency in the model is >= 1
 //     cycle, so a step at cycle T only schedules events at > T
 //     ((*lane).schedule asserts this). All events at one timestamp are
-//     already queued when the timestamp is reached, which makes "one
-//     distinct timestamp" a safe parallel epoch: lanes process their
-//     own events of cycle T concurrently, then barrier.
+//     already queued when the timestamp is reached.
 //
-// Determinism then needs two reconstructions:
+// The coordinator releases the lanes into K-cycle windows [T, W) with
+// W = T + K (K = Config.EpochQuantum, auto-derived from the arch's
+// latency table when <= 0; see DeriveEpochQuantum). Each lane drains
+// every event of its own queue inside the window — including events it
+// schedules for itself mid-window — so pure-SM chains of compute,
+// barrier and L1-hit steps no longer pay a barrier per distinct
+// timestamp. K = 1 degenerates to the PR-4 one-timestamp epoch: no
+// in-window scheduling is possible (latencies are >= 1 cycle), so the
+// machinery below reduces to the previous protocol exactly.
+//
+// Determinism needs two reconstructions:
 //
 // Seq assignment. The serial seq of an event equals the position of its
-// schedule call in the global call sequence, which within an epoch is
-// ordered by (seq of the calling step, call index within the step) —
-// the calling step's seq is a scalar already assigned. So lanes log
-// schedule calls to a per-lane pending list (in processing order, which
-// is exactly that order), and the coordinator merges the lists at the
-// epoch barrier by parent seq, assigning the global counter in the
-// merged order. The result is the serial counter value for every event,
-// hence the serial (cycle, seq) order, hence identical tie-breaks.
+// schedule call in the global call sequence. Within a window that
+// sequence is ordered by (position of the calling step, call index
+// within the step), where a step's position is its event's (cycle, seq).
+// Lanes log schedule calls to a per-lane pending list in processing
+// order — which, restricted to one lane, is exactly that order. Events
+// scheduled into the current window execute immediately under a
+// provisional seq (provBase + pending index: above every serial seq, and
+// increasing in lane-local call order, which keeps the lane's heap order
+// equal to the serial order restricted to the lane). At the window edge
+// the coordinator k-way merges the pending lists by the key
+// (parent cycle, parent serial seq), resolving a provisional parent's
+// seq through the lane's just-assigned values — the creating call of a
+// parent always precedes its children in the same lane's list, so the
+// resolution is available by the time a child reaches the merge head.
+// The merged order is the serial call order, so the counter values —
+// and every future tie-break — are reproduced exactly. Events that
+// already executed in-window only consume their counter value; events
+// targeting cycles >= W are pushed with their serial seq.
 //
 // Shared state. The memory system (L2/DRAM/NoC ports and banks), the
 // CTA dispatcher, the occupancy integral and the record table are order
-// sensitive. A lane touches them only while holding the global-state
-// token ((*lane).global): it waits until every other lane's watermark —
-// the seq of that lane's next incomplete event, MaxUint64 once its
-// epoch is done — has passed its own step's seq. The lane with the
-// globally minimal in-flight seq therefore proceeds and everyone else
-// spins, which serializes all shared-state excursions in exactly the
-// serial event order while letting pure-SM work (compute, barriers, L1
-// hits) run concurrently. The watermark atomics also carry the
-// happens-before edges that make the whole scheme race-detector clean.
+// sensitive, so they must be touched in exact serial (cycle, seq) order
+// at any K. A lane touches them only while holding the global-state
+// token ((*lane).global): it waits until every other lane's published
+// position — a seqlock'd (cycle, seq-or-call-chain) triple, advanced at
+// every event pop and parked at +inf when the lane's window is done —
+// has passed its own step's position. Positions of in-window events
+// have no serial seq yet; they are compared through their call chains
+// (callNode): two calls order by call cycle first, then by their parent
+// steps' positions (serial seqs compare numerically and precede
+// provisional ones at the same cycle — every pre-window call precedes
+// every in-window call), then by call index. Chains shrink one cycle
+// per link, so the comparison terminates within the window. The lane
+// with the globally minimal in-flight position proceeds and everyone
+// else spins, which serializes all shared-state excursions in exactly
+// the serial event order while pure-SM work runs concurrently. The
+// seqlock atomics also carry the happens-before edges that make the
+// scheme race-detector clean.
 //
 // Profiler events are buffered per lane with the key (cycle, step seq,
-// emission index) — the serial emission order — and delivered in one
-// sorted merge when the run completes. Counter snapshots are taken by
-// the coordinator between epochs at exactly the serial cycles. The
-// coordinator also replicates the serial loop's MaxCycles check,
-// context-poll cadence and end-of-run drain checks, so errors are
-// byte-identical too.
+// emission index) — the serial emission order. Emissions tagged with a
+// provisional step seq are rewritten to the assigned serial seq at the
+// window-edge merge, so the end-of-run sorted flush reproduces the
+// serial stream byte for byte. Counter snapshots are taken by the
+// coordinator between windows at exactly the serial cycles — the window
+// is capped at the next snapshot boundary so no boundary is crossed
+// mid-window. The coordinator also replicates the serial loop's
+// MaxCycles check (the window is capped at MaxCycles+1 so an overrun
+// event is never stepped before the check), context-poll cadence and
+// end-of-run drain checks, so errors are byte-identical too.
 
 import (
 	"fmt"
@@ -63,17 +93,177 @@ import (
 	"ctacluster/internal/prof"
 )
 
-// pendingEvent is one schedule call logged during an epoch, awaiting
-// its serial seq from the coordinator's merge.
+// provBase is the provisional-seq floor: in-window events execute under
+// provBase + (pending index) until the window-edge merge assigns their
+// serial seq. Serial seqs count schedule calls (~one per event), so a
+// run would need 2^48 events to collide — far beyond MaxCycles bounds.
+const provBase = uint64(1) << 48
+
+// callNode is the position of one in-window schedule call: made at
+// cycle parentAt by the step whose position is either a serial seq
+// (parent == nil, parentSeq) or itself provisional (parent), as its
+// ord-th call. Nodes are immutable once their event is pushed; other
+// lanes reach them only through the owner's seqlock'd position (or a
+// child node published the same way), which carries the happens-before
+// edge for the node's plain fields.
+type callNode struct {
+	parentAt  int64
+	parentSeq uint64
+	parent    *callNode
+	ord       int32
+}
+
+// compareCall orders two in-window calls by their global call position:
+// call cycle, then the parent steps' positions, then call index. At
+// equal cycles a serial-seq'd parent precedes a provisional one —
+// pre-window calls precede in-window calls in the global call order.
+// Chains move strictly backwards in time (parentAt decreases every
+// link), so the walk is bounded by the window width.
+func compareCall(a, b *callNode) int {
+	for {
+		if a.parentAt != b.parentAt {
+			if a.parentAt < b.parentAt {
+				return -1
+			}
+			return 1
+		}
+		ap, bp := a.parent, b.parent
+		switch {
+		case ap == nil && bp == nil:
+			if a.parentSeq != b.parentSeq {
+				if a.parentSeq < b.parentSeq {
+					return -1
+				}
+				return 1
+			}
+		case ap == nil:
+			return -1
+		case bp == nil:
+			return 1
+		case ap != bp:
+			a, b = ap, bp
+			continue
+		}
+		// Same parent step: order by call index.
+		if a.ord != b.ord {
+			if a.ord < b.ord {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+}
+
+// comparePos orders two step positions (cycle, seq, chain). Serial
+// positions carry a nil node and compare by seq; provisional positions
+// compare through their call chains and sort after every serial
+// position at the same cycle.
+func comparePos(at1 int64, seq1 uint64, n1 *callNode, at2 int64, seq2 uint64, n2 *callNode) int {
+	if at1 != at2 {
+		if at1 < at2 {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case n1 == nil && n2 == nil:
+		if seq1 != seq2 {
+			if seq1 < seq2 {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	case n1 == nil:
+		return -1
+	case n2 == nil:
+		return 1
+	default:
+		return compareCall(n1, n2)
+	}
+}
+
+// lanePos is a lane's published step position, written by the owning
+// lane (and the coordinator between windows) and read by token waiters.
+// A single-writer seqlock over atomics: the version is odd while a
+// write is in flight, so a reader never acts on a torn (at, seq, node)
+// triple — positions are not monotone field-by-field (a later cycle can
+// carry a smaller seq), and a torn read could otherwise overstate the
+// lane's progress and release a waiter early.
+type lanePos struct {
+	version atomic.Uint64
+	at      atomic.Int64
+	seq     atomic.Uint64
+	node    atomic.Pointer[callNode]
+}
+
+func (p *lanePos) store(at int64, seq uint64, n *callNode) {
+	v := p.version.Load()
+	p.version.Store(v + 1)
+	p.at.Store(at)
+	p.seq.Store(seq)
+	p.node.Store(n)
+	p.version.Store(v + 2)
+}
+
+func (p *lanePos) load() (at int64, seq uint64, n *callNode) {
+	for {
+		v := p.version.Load()
+		if v&1 == 0 {
+			at, seq, n = p.at.Load(), p.seq.Load(), p.node.Load()
+			if p.version.Load() == v {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// nodeArena is a lane-local chunked allocator for callNodes. Chunks are
+// reused window to window (reset runs at the barrier, with every lane
+// parked) and node addresses stay stable while in use — other lanes
+// hold pointers into them during token waits.
+type nodeArena struct {
+	chunks [][]callNode
+	ci     int // chunk being allocated from
+	pos    int // next free slot in that chunk
+}
+
+const nodeChunk = 512
+
+func (a *nodeArena) alloc() *callNode {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]callNode, nodeChunk))
+	}
+	c := a.chunks[a.ci]
+	n := &c[a.pos]
+	if a.pos++; a.pos == len(c) {
+		a.ci++
+		a.pos = 0
+	}
+	return n
+}
+
+func (a *nodeArena) reset() { a.ci, a.pos = 0, 0 }
+
+// pendingEvent is one schedule call logged during a window, awaiting
+// its serial seq from the coordinator's merge. The parent key is the
+// calling step's position: its cycle plus either its serial seq
+// (parentIdx < 0) or the pending index of the call that created it —
+// resolved to the just-assigned serial seq during the merge.
 type pendingEvent struct {
-	at     int64
-	parent uint64 // seq of the event whose step made the call
-	warp   *warpState
+	at        int64
+	parentAt  int64
+	parentSeq uint64
+	parentIdx int32
+	local     bool // already executed in-window; merge only assigns the seq
+	warp      *warpState
 }
 
 // taggedEvent is one buffered profiler emission with its serial-order
 // key: the (cycle, seq) of the emitting step and the emission index
-// within that step.
+// within that step. Provisional seqs are rewritten at the window edge.
 type taggedEvent struct {
 	at  int64
 	seq uint64
@@ -81,20 +271,25 @@ type taggedEvent struct {
 	ev  prof.Event
 }
 
-// sharder drives a sharded run: it owns the epoch clock, the global
+// sharder drives a sharded run: it owns the window clock, the global
 // schedule-call counter, and the barrier the lanes synchronize on.
 type sharder struct {
 	s       *sim
 	lanes   []*lane
 	started bool   // set (single-threaded) just before the lanes spawn
 	seq     uint64 // global schedule-call counter (coordinator-owned)
+	quantum int64  // window width K in cycles (>= 1)
 	mask    prof.EventMask
 	mergeIx []int // scratch per-lane cursor for mergePending
 
-	epochT int64 // timestamp of the epoch being released
+	windowStart int64 // first cycle of the window being released
+	windowEnd   int64 // first cycle past it (exclusive)
+
+	windows int64 // coordinator barriers paid (ShardStats.Windows)
+	events  int64 // events stepped across all lanes (ShardStats.Events)
 
 	// Barrier state. epoch is bumped by the coordinator to release the
-	// lanes into the next epoch; arrived counts lanes that finished it;
+	// lanes into the next window; arrived counts lanes that finished it;
 	// stop tells the lane goroutines to exit on their next wake-up.
 	epoch   atomic.Uint64
 	arrived atomic.Int32
@@ -108,6 +303,9 @@ func newSharder(s *sim) *sharder {
 		mergeIx: make([]int, len(s.lanes)),
 		mask:    ^prof.EventMask(0),
 	}
+	if sh.quantum = s.cfg.EpochQuantum; sh.quantum <= 0 {
+		sh.quantum = DeriveEpochQuantum(s.ar)
+	}
 	// Buffered events survive until the end-of-run flush, so skip ones
 	// the profiler would drop anyway when it can tell us its mask.
 	if m, ok := s.prof.(interface{ EventMask() prof.EventMask }); ok {
@@ -117,7 +315,7 @@ func newSharder(s *sim) *sharder {
 }
 
 // run is the sharded counterpart of (*sim).loop: the coordinator
-// releases one epoch per distinct timestamp, and between epochs — with
+// releases one K-cycle window at a time, and between windows — with
 // every lane quiescent — performs the serial loop's bookkeeping
 // (snapshots, MaxCycles, context polls) plus the seq merge.
 func (sh *sharder) run() error {
@@ -147,7 +345,7 @@ func (sh *sharder) run() error {
 			stopLanes()
 			return s.cancelErr()
 		}
-		// The next epoch is the earliest queued event anywhere.
+		// The next window starts at the earliest queued event anywhere.
 		t := int64(math.MaxInt64)
 		for _, l := range sh.lanes {
 			if at, ok := l.q.headAt(); ok && at < t {
@@ -169,30 +367,51 @@ func (sh *sharder) run() error {
 			}
 		}
 		// Advance the global clock and sample counters exactly as the
-		// serial loop does on a time advance (epochs strictly increase).
+		// serial loop does on a time advance (windows strictly advance:
+		// everything below t was drained by earlier windows).
 		s.now = t
 		if s.snapEvery > 0 && s.now >= s.nextSnap {
 			s.prof.Snapshot(s.counterSnapshot(s.now))
 			s.nextSnap = (s.now/s.snapEvery + 1) * s.snapEvery
 		}
-		// Preset every lane's watermark for the epoch BEFORE releasing
-		// it: a lane's token wait must never observe a stale value from
-		// the previous epoch.
+		// The window ends K cycles out, capped so that (a) an event past
+		// MaxCycles is never stepped before the serial loop would have
+		// errored on it, and (b) no snapshot boundary is crossed
+		// mid-window — the next window then starts exactly at the serial
+		// sample point. Both caps keep W > t.
+		w := t + sh.quantum
+		if w > maxCycles+1 {
+			w = maxCycles + 1
+		}
+		if s.snapEvery > 0 && w > s.nextSnap {
+			w = s.nextSnap
+		}
+		// Preset every lane's position for the window BEFORE releasing
+		// it: a token wait must never observe a stale value from the
+		// previous window. Heads are pre-window events — always serial.
 		for _, l := range sh.lanes {
-			if at, ok := l.q.headAt(); ok && at == t {
-				l.watermark.Store(l.q.headSeq())
+			if at, ok := l.q.headAt(); ok && at < w {
+				l.pos.store(at, l.q.headSeq(), nil)
 			} else {
-				l.watermark.Store(math.MaxUint64)
+				l.pos.store(math.MaxInt64, math.MaxUint64, nil)
 			}
 		}
+		sh.windowStart, sh.windowEnd = t, w
 		sh.arrived.Store(0)
-		sh.epochT = t
 		sh.epoch.Add(1) // release
 		for sh.arrived.Load() != int32(len(sh.lanes)) {
 			runtime.Gosched()
 		}
+		sh.windows++
 		for _, l := range sh.lanes {
 			s.evCount += l.events
+			sh.events += l.events
+			// The run clock ends at the last stepped event's cycle, as
+			// in the serial loop (it feeds Result.Cycles and the final
+			// snapshot); idle lanes keep an older l.now, so take the max.
+			if l.now > s.now {
+				s.now = l.now
+			}
 		}
 		sh.mergePending()
 	}
@@ -202,44 +421,75 @@ func (sh *sharder) run() error {
 }
 
 // mergePending assigns serial seqs to the schedule calls logged during
-// the epoch. Each lane's log is already ordered by (parent seq, call
-// index); a k-way merge by parent seq visits the calls in the exact
-// order the serial engine's single counter would have, so the counter
-// values — and therefore all future tie-breaks — are reproduced.
+// the window. Each lane's log is already in lane-local call order; a
+// k-way merge by parent position (cycle, serial seq) visits the calls
+// in the exact order the serial engine's single counter would have, so
+// the counter values — and therefore all future tie-breaks — are
+// reproduced. A provisional parent's seq is resolved through the lane's
+// assigned slots: its creating call sits earlier in the same lane's
+// list, so it has always been assigned by the time a child is at the
+// merge head. Calls that already executed in-window (local) only
+// consume the counter; the rest are pushed with their serial seq.
+// Buffered profiler emissions tagged with provisional seqs are
+// rewritten to the assigned values before the lists reset.
 func (sh *sharder) mergePending() {
 	ix := sh.mergeIx
 	for i := range ix {
 		ix[i] = 0
 	}
+	for _, l := range sh.lanes {
+		if cap(l.assigned) < len(l.pending) {
+			l.assigned = make([]uint64, len(l.pending))
+		}
+		l.assigned = l.assigned[:len(l.pending)]
+	}
 	for {
 		best := -1
-		var bestParent uint64
+		var bestAt int64
+		var bestSeq uint64
 		for i, l := range sh.lanes {
-			if ix[i] < len(l.pending) {
-				if p := l.pending[ix[i]].parent; best < 0 || p < bestParent {
-					best, bestParent = i, p
-				}
+			if ix[i] >= len(l.pending) {
+				continue
+			}
+			p := &l.pending[ix[i]]
+			ps := p.parentSeq
+			if p.parentIdx >= 0 {
+				ps = l.assigned[p.parentIdx]
+			}
+			if best < 0 || p.parentAt < bestAt || (p.parentAt == bestAt && ps < bestSeq) {
+				best, bestAt, bestSeq = i, p.parentAt, ps
 			}
 		}
 		if best < 0 {
-			return
+			break
 		}
 		l := sh.lanes[best]
-		p := l.pending[ix[best]]
-		ix[best]++
-		if ix[best] == len(l.pending) {
-			l.pending = l.pending[:0]
-		}
+		p := &l.pending[ix[best]]
 		sh.seq++
-		l.q.scheduleSeq(p.at, sh.seq, p.warp)
+		l.assigned[ix[best]] = sh.seq
+		if !p.local {
+			l.q.scheduleSeq(p.at, sh.seq, p.warp)
+		}
+		ix[best]++
+	}
+	for _, l := range sh.lanes {
+		for j := l.bufMark; j < len(l.buf); j++ {
+			if e := &l.buf[j]; e.seq >= provBase {
+				e.seq = l.assigned[e.seq-provBase]
+			}
+		}
+		l.bufMark = len(l.buf)
+		l.pending = l.pending[:0]
+		l.arena.reset()
 	}
 }
 
 // flushProf delivers the buffered event stream in serial emission
-// order: (cycle, emitting step's seq, emission index). It runs after
-// the lanes have joined, so the profiler sees a single goroutine as
-// its contract requires. Error paths skip the flush — a failed run
-// discards its partial results, traces included.
+// order: (cycle, emitting step's seq, emission index) — every seq is a
+// serial one by now, the window-edge merges rewrote the provisional
+// tags. It runs after the lanes have joined, so the profiler sees a
+// single goroutine as its contract requires. Error paths skip the
+// flush — a failed run discards its partial results, traces included.
 func (sh *sharder) flushProf() {
 	if sh.s.prof == nil {
 		return
@@ -270,7 +520,7 @@ func (sh *sharder) flushProf() {
 	}
 }
 
-// runShard is a lane goroutine: wait for each epoch release, run the
+// runShard is a lane goroutine: wait for each window release, run the
 // lane's slice of it, signal arrival.
 func (l *lane) runShard(wg *sync.WaitGroup) {
 	defer wg.Done()
@@ -282,42 +532,53 @@ func (l *lane) runShard(wg *sync.WaitGroup) {
 		if sh.stop.Load() {
 			return
 		}
-		l.runEpoch(sh.epochT)
+		l.runWindow(sh.windowStart, sh.windowEnd)
 		sh.arrived.Add(1)
 	}
 }
 
-// runEpoch processes every queued event of this lane at cycle t. The
-// lane's watermark tracks the seq of the event being stepped (preset by
-// the coordinator to the first one) and jumps to MaxUint64 when the
-// lane has no further work this epoch, unblocking any token waiter.
-func (l *lane) runEpoch(t int64) {
+// runWindow processes every queued event of this lane in [t, w) —
+// including events scheduled by its own steps mid-window, which run
+// under provisional seqs. The lane's published position tracks the
+// event being stepped (preset by the coordinator to the first one) and
+// parks at +inf when the lane has no further work this window,
+// unblocking any token waiter.
+func (l *lane) runWindow(t, w int64) {
 	l.now = t
 	l.events = 0
 	for {
 		at, ok := l.q.headAt()
-		if !ok || at != t {
+		if !ok || at >= w {
 			break
 		}
 		ev, _ := l.q.next()
-		l.watermark.Store(ev.seq)
+		l.now = at
 		l.stepSeq = ev.seq
+		l.stepNode = ev.node
+		if ev.node != nil {
+			l.stepIdx = int32(ev.seq - provBase)
+		} else {
+			l.stepIdx = -1
+		}
+		l.pos.store(at, ev.seq, ev.node)
 		l.emitIdx = 0
 		l.holds = false
 		l.step(ev.warp)
 		l.events++
 	}
-	l.watermark.Store(math.MaxUint64)
+	l.pos.store(math.MaxInt64, math.MaxUint64, nil)
 }
 
 // global acquires the run's shared-state token: the right to touch the
 // memory system, the dispatcher, the occupancy integral or the record
 // table. Serial runs get it for free. A sharded lane blocks until every
-// event ordered before its current one — lower seq, any lane — has
-// completed, which serializes all shared-state excursions in exactly
-// the serial event order: the core of the byte-identity guarantee. The
-// token is held for the remainder of the step and released implicitly
-// when the lane's watermark moves past this seq.
+// event ordered before its current one — earlier position, any lane —
+// has completed, which serializes all shared-state excursions in
+// exactly the serial event order: the core of the byte-identity
+// guarantee. Progress: the lane holding the globally minimal in-flight
+// position always passes (a stale published position is never larger
+// than the true one). The token is held for the remainder of the step
+// and released implicitly when the lane's position moves past it.
 func (l *lane) global() {
 	sh := l.s.sh
 	if sh == nil || !sh.started || l.holds {
@@ -327,7 +588,11 @@ func (l *lane) global() {
 		if other == l {
 			continue
 		}
-		for other.watermark.Load() <= l.stepSeq {
+		for {
+			at, seq, n := other.pos.load()
+			if comparePos(at, seq, n, l.now, l.stepSeq, l.stepNode) > 0 {
+				break
+			}
 			runtime.Gosched()
 		}
 	}
@@ -355,9 +620,12 @@ func (l *lane) emit(e prof.Event) {
 // warp on one of this lane's own SMs, so the push never leaves the
 // lane. The serial path draws the tie-break seq from the queue's own
 // counter; pre-run (first wave) sharded calls draw from the sharder's
-// counter on the single setup goroutine — the same order — and in-run
+// counter on the single setup goroutine — the same order. In-run
 // sharded calls are logged for the coordinator's barrier-time merge
-// (mergePending), which reassigns the exact serial counter values.
+// (mergePending), which reassigns the exact serial counter values; a
+// call into the current window additionally pushes the event for
+// immediate local execution under a provisional seq, with a callNode
+// recording its position for cross-lane ordering.
 func (l *lane) schedule(at int64, w *warpState) {
 	sh := l.s.sh
 	if sh == nil {
@@ -370,9 +638,22 @@ func (l *lane) schedule(at int64, w *warpState) {
 		return
 	}
 	if at <= l.now {
-		// Every model latency is >= 1 cycle; an intra-epoch schedule
-		// would break the epoch barrier's correctness argument.
-		panic(fmt.Sprintf("engine: sharded schedule into the current epoch (at=%d now=%d)", at, l.now))
+		// Every model latency is >= 1 cycle; a same-cycle schedule would
+		// break the already-queued-at-window-start argument.
+		panic(fmt.Sprintf("engine: sharded schedule into the past (at=%d now=%d)", at, l.now))
 	}
-	l.pending = append(l.pending, pendingEvent{at: at, parent: l.stepSeq, warp: w})
+	idx := len(l.pending)
+	p := pendingEvent{at: at, parentAt: l.now, parentSeq: l.stepSeq, parentIdx: l.stepIdx, warp: w}
+	if at < sh.windowEnd {
+		n := l.arena.alloc()
+		*n = callNode{parentAt: l.now, ord: int32(idx)}
+		if l.stepNode != nil {
+			n.parent = l.stepNode
+		} else {
+			n.parentSeq = l.stepSeq
+		}
+		l.q.schedulePending(at, provBase+uint64(idx), n, w)
+		p.local = true
+	}
+	l.pending = append(l.pending, p)
 }

@@ -215,9 +215,12 @@ func TestShardsClamped(t *testing.T) {
 }
 
 // BenchmarkRunSharded measures single-run scaling of MM on TeslaK40
-// across shard counts — the tentpole's headline benchmark. Run with
+// across shard counts and epoch windows — the tentpole's headline
+// benchmark. quantum=1 is the barrier-per-timestamp schedule, quantum=0
+// the auto-derived K-cycle window (90 cycles on TeslaK40). Run with
 // `make bench` (or `go test -bench RunSharded ./internal/engine`);
-// DESIGN.md §9 records the measured curve and its limiter.
+// DESIGN.md §9 records the measured curves and their limiters, and
+// BENCH_shard.json the trajectory.
 func BenchmarkRunSharded(b *testing.B) {
 	app, err := workloads.New("MM")
 	if err != nil {
@@ -225,15 +228,18 @@ func BenchmarkRunSharded(b *testing.B) {
 	}
 	ar := arch.TeslaK40()
 	for _, n := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
-			cfg := engine.DefaultConfig(ar)
-			cfg.Shards = n
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := engine.Run(cfg, app); err != nil {
-					b.Fatal(err)
+		for _, q := range []int64{1, 0} {
+			b.Run(fmt.Sprintf("shards=%d/quantum=%d", n, q), func(b *testing.B) {
+				cfg := engine.DefaultConfig(ar)
+				cfg.Shards = n
+				cfg.EpochQuantum = q
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.Run(cfg, app); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

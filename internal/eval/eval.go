@@ -163,6 +163,12 @@ type Options struct {
 	// and, like it, byte-invisible in the results: the engine's
 	// differential goldens pin sharded output identical to serial.
 	Shards int
+	// EpochQuantum is passed to engine.Config.EpochQuantum for every
+	// simulation: the barrier window width of a sharded run, in cycles
+	// (0 = auto-derive from the architecture's latency table, 1 = barrier
+	// every timestamp). Execution-only like Shards — results are
+	// byte-identical at every setting. Ignored when Shards <= 1.
+	EpochQuantum int64
 }
 
 // context returns the run context, defaulting to Background.
@@ -191,6 +197,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 		cfg.Seed = opt.Seed
 	}
 	cfg.Shards = opt.Shards
+	cfg.EpochQuantum = opt.EpochQuantum
 
 	// sim builds a job that runs its own engine instance over k and
 	// parks the result (or the scheme-labelled error) in its own slots.

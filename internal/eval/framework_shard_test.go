@@ -1,0 +1,64 @@
+package eval_test
+
+// Determinism of the shard-enabled framework probes: EvaluateFramework
+// now runs its probe simulations under Options.Shards / EpochQuantum
+// (via locality.AnalyzeExec), and the verdicts it scores must not move
+// by a bit when they do. This is the eval-layer extension of the
+// engine's differential goldens — the same contract /v1/optimize relies
+// on when the daemon shards its probes.
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/eval"
+	"ctacluster/internal/workloads"
+)
+
+// frameworkApps spans the locality categories without paying for the
+// full Table 2 set twice (each analysis is five probe simulations);
+// instrumented runs keep one exploitable and one streaming app.
+func frameworkApps(t *testing.T) []*workloads.App {
+	t.Helper()
+	names := []string{"KMN", "MM", "ATX", "HST", "NW", "MON"}
+	if raceEnabled || testing.Short() {
+		names = []string{"MM", "NW"}
+	}
+	var apps []*workloads.App
+	for _, n := range names {
+		a, err := workloads.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// TestFrameworkShardedMatchesSerial runs the categorization pipeline
+// serially and with sharded probes — at the auto-derived window and at
+// the degenerate one-timestamp window — and requires deep equality of
+// every verdict, probe measurement and hit count.
+func TestFrameworkShardedMatchesSerial(t *testing.T) {
+	ar := arch.TeslaK40()
+	apps := frameworkApps(t)
+
+	serial, err := eval.EvaluateFramework(ar, apps, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []eval.Options{
+		{Shards: 4},
+		{Shards: 4, EpochQuantum: 1},
+	} {
+		got, err := eval.EvaluateFramework(ar, apps, opt)
+		if err != nil {
+			t.Fatalf("shards=%d quantum=%d: %v", opt.Shards, opt.EpochQuantum, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("framework verdicts differ with shards=%d quantum=%d:\nserial: %+v\nsharded: %+v",
+				opt.Shards, opt.EpochQuantum, serial, got)
+		}
+	}
+}

@@ -134,18 +134,22 @@ func (k *Key) Arch(a *arch.Arch) *Key {
 
 // configFieldCount pins engine.Config coverage the same way: every
 // field is either encoded below or listed in configExecOnlyFields.
-const configFieldCount = 8
+const configFieldCount = 10
 
 // configExecOnlyFields are engine.Config fields that control how a run
 // executes without changing what it computes, and are therefore
 // deliberately EXCLUDED from the key. Shards is the engine's
-// parallelism knob: its results are byte-identical at every setting
-// (the differential goldens in internal/engine pin this), so hashing
-// it would only fragment the cache — and invalidate every deployed
-// entry — for zero soundness gain. key_test.go asserts the inverse
-// property for each field here: perturbing it must NOT change the key.
+// parallelism knob and EpochQuantum its barrier-width companion: their
+// results are byte-identical at every setting (the differential goldens
+// in internal/engine pin this), so hashing them would only fragment the
+// cache — and invalidate every deployed entry — for zero soundness
+// gain. ShardStats is a pure observability out-parameter. key_test.go
+// asserts the inverse property for each field here: perturbing it must
+// NOT change the key.
 var configExecOnlyFields = map[string]bool{
-	"Shards": true,
+	"Shards":       true,
+	"EpochQuantum": true,
+	"ShardStats":   true,
 }
 
 // Config appends every result-relevant field of the engine

@@ -57,6 +57,8 @@ func TestConfigKeyCoversEveryField(t *testing.T) {
 		"MaxCycles":      func(c *engine.Config) { c.MaxCycles = 999 },
 		"Profiler":       func(c *engine.Config) { c.Profiler = prof.NewTrace(prof.TraceConfig{}) },
 		"Shards":         func(c *engine.Config) { c.Shards = 7 },
+		"EpochQuantum":   func(c *engine.Config) { c.EpochQuantum = 17 },
+		"ShardStats":     func(c *engine.Config) { c.ShardStats = &engine.ShardStats{} },
 	}
 	typ := reflect.TypeOf(engine.Config{})
 	for i := 0; i < typ.NumField(); i++ {

@@ -61,6 +61,13 @@ type Config struct {
 	// keys: sharded results are byte-identical to serial, so entries
 	// computed at any shard count serve every other.
 	Shards int
+	// EpochQuantum is the default barrier window width in cycles for
+	// sharded runs (engine.Config.EpochQuantum; simulate requests may
+	// override it per request). 0 auto-derives from the architecture's
+	// latency table, 1 barriers at every timestamp. Execution-only like
+	// Shards: it never enters cache keys and results are byte-identical
+	// at every setting.
+	EpochQuantum int64
 	// CacheBytes / CacheEntries bound the result cache (defaults in
 	// rescache.New).
 	CacheBytes   int64
@@ -276,11 +283,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.MaxCycles > 0 {
 		cfg.MaxCycles = req.MaxCycles
 	}
-	// Shards shapes execution, not results, and is excluded from the
-	// key — requests at different shard counts share cache entries.
+	// Shards and EpochQuantum shape execution, not results, and are
+	// excluded from the key — requests at different shard counts or
+	// window widths share cache entries.
 	cfg.Shards = s.cfg.Shards
 	if req.Shards > 0 {
 		cfg.Shards = req.Shards
+	}
+	cfg.EpochQuantum = s.cfg.EpochQuantum
+	if req.EpochQuantum > 0 {
+		cfg.EpochQuantum = req.EpochQuantum
 	}
 	kernelID := fmt.Sprintf("%s/%s/agents=%d/bypass=%t/prefetch=%t",
 		app.Name(), scheme, req.Agents, req.Bypass, req.Prefetch)
@@ -332,11 +344,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
 		opt := eval.Options{
-			Ctx:         ctx,
-			Seed:        req.Seed,
-			Quick:       req.Quick,
-			Parallelism: s.cfg.Parallelism,
-			Shards:      s.cfg.Shards,
+			Ctx:          ctx,
+			Seed:         req.Seed,
+			Quick:        req.Quick,
+			Parallelism:  s.cfg.Parallelism,
+			Shards:       s.cfg.Shards,
+			EpochQuantum: s.cfg.EpochQuantum,
 		}
 		sweep, err := eval.EvaluateAll(platforms, apps, opt, nil)
 		if err != nil {
@@ -367,12 +380,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
-		plan, err := locality.Optimize(app, ar)
+		// The framework's probe simulations run under the daemon's shard
+		// settings too; the Plan is byte-identical at every setting.
+		ex := locality.Exec{Shards: s.cfg.Shards, EpochQuantum: s.cfg.EpochQuantum}
+		plan, err := locality.OptimizeExec(app, ar, ex)
 		if err != nil {
 			return nil, err
 		}
 		cfg := engine.DefaultConfig(ar)
 		cfg.Shards = s.cfg.Shards
+		cfg.EpochQuantum = s.cfg.EpochQuantum
 		base, err := engine.RunContext(ctx, cfg, app)
 		if err != nil {
 			return nil, err
