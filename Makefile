@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke vet prof prof-golden server docs-check
+.PHONY: build test race fuzz bench bench-smoke vet prof prof-golden server fleet-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,16 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Short fuzz smoke of the partition bijection and the sharded-engine
-# quantum equivalence; CI runs these bounded, `make fuzz FUZZTIME=10m`
-# digs deeper locally. (go test accepts one -fuzz pattern per run, so
-# each target is its own invocation.)
+# Short fuzz smoke of the partition bijection, the sharded-engine
+# quantum equivalence and the disk-cache entry codec; CI runs these
+# bounded, `make fuzz FUZZTIME=10m` digs deeper locally. (go test
+# accepts one -fuzz pattern per run, so each target is its own
+# invocation.)
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzEpochQuantum -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheEntry -fuzztime=$(FUZZTIME) ./internal/rescache
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -48,6 +50,15 @@ bench-smoke:
 server:
 	$(GO) test -race ./internal/server/... ./internal/rescache ./internal/api
 	$(GO) test -race -run 'Cancel|Deadline|Context' ./internal/engine ./internal/eval
+
+# The fleet gate the CI enforces: the distributed-sweep determinism
+# suite (3 backends with one failing mid-sweep and one dead, merged
+# bytes identical to serial `evaluate -json`), the disk-cache
+# crash/corruption recovery scenarios, and the daemon restart
+# persistence e2e, all under the race detector.
+fleet-smoke:
+	$(GO) test -race ./internal/fleet ./internal/rescache ./internal/cli
+	$(GO) test -race -run 'DiskCache' ./internal/server
 
 # The docs gate the CI enforces: every internal/* and cmd/* package must
 # carry a package-level doc comment, and every flag that README.md or

@@ -45,20 +45,15 @@ func main() {
 	archName := flag.String("arch", "TeslaK40", "target platform")
 	list := flag.Bool("list", false, "list available applications")
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
-	parallel := flag.Int("parallel", 0, "analyses in flight for -all (0 = one per CPU, 1 = serial)")
-	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
-	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
+	execFlags := cli.RegisterSweepFlags()
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
 
-	shards, err := cli.Shards(*shardsFlag)
+	exec, err := execFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
-	quantum, err := cli.Quantum(*quantumFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
+	shards, quantum := exec.Shards, exec.Quantum
 
 	if *jsonOut && (*all || *list) {
 		log.Fatal("-json applies to the single-app analysis (-app); -all and -list have no JSON form")
@@ -69,11 +64,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		parallelism, err := cli.Parallelism(*parallel)
-		if err != nil {
-			log.Fatal(err)
-		}
-		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: parallelism, Shards: shards, EpochQuantum: quantum})
+		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: exec.Parallelism, Shards: shards, EpochQuantum: quantum})
 		if err != nil {
 			log.Fatal(err)
 		}

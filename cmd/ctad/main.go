@@ -12,6 +12,7 @@
 //	ctad -shards 4                # shard each simulation across 4 goroutines
 //	ctad -shards 4 -quantum 1     # sharded, barrier every timestamp
 //	ctad -cache-mb 256            # larger result cache
+//	ctad -cache-dir /var/ctad     # persistent result cache (survives restarts)
 //
 // -shards sets the default engine.Config.Shards for every simulation
 // the daemon runs (simulate requests may override it per request),
@@ -19,6 +20,14 @@
 // default sharded barrier window in cycles (engine.Config.EpochQuantum;
 // 0 = auto-derive, also overridable per simulate request); results and
 // cache keys are identical at every setting.
+//
+// -cache-dir adds a durable content-addressed tier under the in-memory
+// LRU: every computed response is written atomically (tmp + fsync +
+// rename) under its sha256 key, restarts warm-start from disk, and a
+// populated directory can be copied to a new fleet member as a warm
+// cache. Entries failing verification on read are quarantined and
+// recomputed — corruption degrades to a miss, never a wrong hit
+// (DESIGN.md §10).
 //
 // Endpoints: POST /v1/simulate, /v1/sweep, /v1/optimize; GET /v1/table1,
 // /v1/table2, /healthz, /metrics. See README "Serving" for a curl
@@ -49,37 +58,29 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	workers := flag.Int("workers", 2, "concurrent requests executing simulations")
 	maxQueue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
-	parallel := flag.Int("parallel", 0, "simulations in flight per sweep (0 = one per CPU)")
-	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
-	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
+	execFlags := cli.RegisterSweepFlags()
 	cacheMB := flag.Int64("cache-mb", 64, "result cache size in MiB")
 	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
+	cacheDir := cli.RegisterCacheDirFlag()
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Minute, "clamp on client-requested deadlines")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain period for in-flight requests")
 	quiet := flag.Bool("q", false, "suppress per-request logging")
 	flag.Parse()
 
-	parallelism, err := cli.Parallelism(*parallel)
-	if err != nil {
-		log.Fatal(err)
-	}
-	shards, err := cli.Shards(*shardsFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	quantum, err := cli.Quantum(*quantumFlag)
+	exec, err := execFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxQueue:       *maxQueue,
-		Parallelism:    parallelism,
-		Shards:         shards,
-		EpochQuantum:   quantum,
+		Parallelism:    exec.Parallelism,
+		Shards:         exec.Shards,
+		EpochQuantum:   exec.Quantum,
 		CacheBytes:     *cacheMB << 20,
 		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	}
@@ -87,7 +88,11 @@ func main() {
 		cfg.Logf = log.Printf
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(cfg).Handler()}
+	daemon, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: daemon.Handler()}
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then drain —
 	// queued and in-flight requests get up to -grace to flush their
@@ -103,8 +108,12 @@ func main() {
 		done <- srv.Shutdown(drainCtx)
 	}()
 
-	log.Printf("serving on %s (workers=%d queue=%d parallel=%d shards=%d quantum=%d cache=%dMiB)",
-		*addr, *workers, *maxQueue, parallelism, shards, quantum, *cacheMB)
+	diskNote := ""
+	if *cacheDir != "" {
+		diskNote = " cache-dir=" + *cacheDir
+	}
+	log.Printf("serving on %s (workers=%d queue=%d parallel=%d shards=%d quantum=%d cache=%dMiB%s)",
+		*addr, *workers, *maxQueue, exec.Parallelism, exec.Shards, exec.Quantum, *cacheMB, diskNote)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

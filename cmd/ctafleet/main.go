@@ -1,0 +1,106 @@
+// Command ctafleet runs the paper's evaluation sweep (Figures 12/13)
+// across a fleet of ctad daemons: it shards the (architecture ×
+// application) matrix by cell, fans the cells out to the -backends
+// list with per-request deadlines, bounded jittered retries and
+// health-aware failover, and merges the results in canonical serial
+// order. The JSON it prints is byte-identical to a single-process
+// `evaluate -json` run of the same matrix — the determinism contract
+// extended across machines (DESIGN.md §10).
+//
+// Usage:
+//
+//	ctafleet -backends http://a:8321,http://b:8321,http://c:8321
+//	ctafleet -backends http://a:8321,http://b:8321 -arch TeslaK40 -apps MM,KMN -quick
+//	ctafleet -backends http://a:8321 -timeout 2m -attempts 5 -v
+//
+// Empty -arch sweeps all four Table 1 platforms; empty -apps sweeps the
+// full Table 2 set; unknown names exit non-zero listing the known ones.
+// A backend that fails mid-sweep is cooled down and its cells retried
+// on the others; it rejoins after a /healthz probe succeeds. Because
+// every ctad backend memoizes by content hash (and persists it with
+// -cache-dir), re-running an interrupted fleet sweep only recomputes
+// the missing cells.
+//
+// Paper mapping: the cells are the Section 5 evaluation matrix; the
+// coordinator is reproduction infrastructure beyond the paper's scope.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ctacluster/internal/api"
+	"ctacluster/internal/cli"
+	"ctacluster/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ctafleet: ")
+	backendsCSV := cli.RegisterBackendsFlag()
+	archName := flag.String("arch", "", "platform subset (empty = all four Table 1 GPUs)")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 23)")
+	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
+	seed := flag.Int64("seed", 0, "engine seed forwarded to every cell (0 = deterministic default)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-cell request deadline")
+	attempts := flag.Int("attempts", 3, "attempts per cell across backends before the sweep fails")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubled per attempt, jittered)")
+	cooldown := flag.Duration("cooldown", 2*time.Second, "backend cooldown after a failure")
+	inFlight := flag.Int("inflight", 0, "concurrently outstanding cells (0 = one per backend)")
+	verbose := flag.Bool("v", false, "log dispatch, retry and failover decisions to stderr")
+	flag.Parse()
+
+	backends, err := cli.Backends(*backendsCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platforms, err := cli.Platforms(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps, err := cli.Apps(*appsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := fleet.Options{
+		Quick:          *quick,
+		Seed:           *seed,
+		RequestTimeout: *timeout,
+		MaxAttempts:    *attempts,
+		BackoffBase:    *backoff,
+		Cooldown:       *cooldown,
+		InFlight:       *inFlight,
+	}
+	if *verbose {
+		opt.Logf = log.Printf
+	}
+
+	// SIGINT/SIGTERM cancel the in-flight cells promptly; the partial
+	// work is not lost — backends cache every completed cell, so the
+	// next run resumes where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	res, err := fleet.Sweep(ctx, backends, platforms, apps, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		log.Printf("%d cells over %d backends in %v (%d attempts, %d retries, %d probes)",
+			res.Stats.Cells, len(backends), time.Since(start).Round(time.Millisecond),
+			res.Stats.Attempts, res.Stats.Retries, res.Stats.Probes)
+		for _, b := range backends {
+			log.Printf("  %s: %d cells", b, res.Stats.CellsByBackend[b])
+		}
+	}
+	if err := api.Encode(os.Stdout, res.Response); err != nil {
+		log.Fatal(err)
+	}
+}

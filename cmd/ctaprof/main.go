@@ -50,8 +50,7 @@ func main() {
 	events := flag.String("events", "cta,stall", "event classes to trace: cta, stall, mem, cache, l2, all")
 	interval := flag.Int64("interval", 4096, "counter-snapshot period in cycles (0 = off)")
 	outDir := flag.String("o", ".", "output directory for the trace and metrics files")
-	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
-	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
+	execFlags := cli.RegisterEngineFlags()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -94,18 +93,14 @@ func main() {
 		Kernel: app.Name(), Arch: ar.Name, Label: label, SMs: ar.SMs,
 		Events: mask, SampleInterval: *interval,
 	})
-	shards, err := cli.Shards(*shardsFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	quantum, err := cli.Quantum(*quantumFlag)
+	exec, err := execFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := engine.DefaultConfig(ar)
 	cfg.Profiler = tr
-	cfg.Shards = shards
-	cfg.EpochQuantum = quantum
+	cfg.Shards = exec.Shards
+	cfg.EpochQuantum = exec.Quantum
 	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)

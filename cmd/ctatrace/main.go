@@ -38,8 +38,7 @@ func main() {
 	clustered := flag.Bool("clustered", false, "trace the agent-clustered kernel instead of the baseline")
 	agents := flag.Int("agents", 0, "active agents per SM when -clustered (0 = max)")
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
-	shardsFlag := flag.Int("shards", 1, "SM shards inside the simulation (1 = serial engine, 0 = one per CPU)")
-	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
+	execFlags := cli.RegisterEngineFlags()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -62,17 +61,13 @@ func main() {
 		k = ag
 	}
 
-	shards, err := cli.Shards(*shardsFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	quantum, err := cli.Quantum(*quantumFlag)
+	exec, err := execFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := engine.DefaultConfig(ar)
-	cfg.Shards = shards
-	cfg.EpochQuantum = quantum
+	cfg.Shards = exec.Shards
+	cfg.EpochQuantum = exec.Quantum
 	res, err := engine.Run(cfg, k)
 	if err != nil {
 		log.Fatal(err)

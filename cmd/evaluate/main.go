@@ -55,9 +55,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "print Table 2 (benchmarks) and exit")
 	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
-	parallel := flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
-	shardsFlag := flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)")
-	quantumFlag := flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)")
+	execFlags := cli.RegisterSweepFlags()
 	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
@@ -94,15 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	parallelism, err := cli.Parallelism(*parallel)
-	if err != nil {
-		log.Fatal(err)
-	}
-	shards, err := cli.Shards(*shardsFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	quantum, err := cli.Quantum(*quantumFlag)
+	exec, err := execFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +102,7 @@ func main() {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
 	}
 
-	opt := eval.Options{Quick: *quick, Parallelism: parallelism, Shards: shards, EpochQuantum: quantum}
+	opt := eval.Options{Quick: *quick, Parallelism: exec.Parallelism, Shards: exec.Shards, EpochQuantum: exec.Quantum}
 	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
 	if err != nil {
 		log.Fatal(err)

@@ -178,12 +178,15 @@ type ErrorResponse struct {
 // MetricsResponse is the daemon's /metrics payload: cache, dedup and
 // queue counters plus the nvprof-style counter names internal/prof
 // exports (so dashboards can discover the per-run metric schema).
+// DiskCache is present only when the daemon runs with a persistent
+// cache tier (-cache-dir).
 type MetricsResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Cache         CacheStats  `json:"cache"`
-	Singleflight  FlightStats `json:"singleflight"`
-	Queue         QueueStats  `json:"queue"`
-	ProfCounters  []string    `json:"prof_counters"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Cache         CacheStats      `json:"cache"`
+	DiskCache     *DiskCacheStats `json:"disk_cache,omitempty"`
+	Singleflight  FlightStats     `json:"singleflight"`
+	Queue         QueueStats      `json:"queue"`
+	ProfCounters  []string        `json:"prof_counters"`
 }
 
 // CacheStats mirrors rescache.Stats (kept here so clients need only
@@ -195,6 +198,21 @@ type CacheStats struct {
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// DiskCacheStats mirrors rescache.DiskStats: the persistent tier's
+// counters. Corruptions counts entries that failed verification on read
+// (each one quarantined and served as a miss); StaleTemps counts
+// crash-leftover temporary files swept when the tier was opened.
+type DiskCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors"`
+	Corruptions uint64 `json:"corruptions"`
+	Quarantined uint64 `json:"quarantined"`
+	StaleTemps  uint64 `json:"stale_temps"`
+	Entries     int    `json:"entries"`
 }
 
 // FlightStats mirrors rescache.FlightStats.

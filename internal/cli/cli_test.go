@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -247,6 +248,50 @@ func TestShards(t *testing.T) {
 		}
 		if got != tt.want {
 			t.Fatalf("Shards(%d) = %d, want %d", tt.arg, got, tt.want)
+		}
+	}
+}
+
+func TestBackends(t *testing.T) {
+	good := []struct {
+		csv  string
+		want []string
+	}{
+		{"http://a:8321", []string{"http://a:8321"}},
+		{"http://a:8321,http://b:8321", []string{"http://a:8321", "http://b:8321"}},
+		{" http://a:8321 , https://b ", []string{"http://a:8321", "https://b"}},
+		// Trailing slashes normalize away so equal backends compare equal.
+		{"http://a:8321/", []string{"http://a:8321"}},
+	}
+	for _, tt := range good {
+		got, err := Backends(tt.csv)
+		if err != nil {
+			t.Fatalf("Backends(%q): %v", tt.csv, err)
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Fatalf("Backends(%q) = %v, want %v", tt.csv, got, tt.want)
+		}
+	}
+
+	bad := []struct {
+		csv     string
+		wantSub string
+	}{
+		{"", "missing -backends"},
+		{"   ", "missing -backends"},
+		{"http://a:8321,,http://b:8321", "empty element"},
+		{"ftp://a:8321", "need http(s)"},
+		{"a:8321", "need http(s)"},
+		{"http://", "need http(s)"},
+		{"http://a:8321,http://a:8321", "duplicate backend"},
+		// Same backend spelled with and without the trailing slash is
+		// still a duplicate after normalization.
+		{"http://a:8321,http://a:8321/", "duplicate backend"},
+	}
+	for _, tt := range bad {
+		_, err := Backends(tt.csv)
+		if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+			t.Fatalf("Backends(%q) err = %v, want substring %q", tt.csv, err, tt.wantSub)
 		}
 	}
 }

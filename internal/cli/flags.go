@@ -1,0 +1,124 @@
+package cli
+
+// Shared flag registration. Before this file, each of the five
+// engine-running CLIs (evaluate, ctacluster, ctatrace, ctaprof, ctad)
+// registered its own copies of -parallel/-shards/-quantum with
+// hand-duplicated help strings — five places to drift apart whenever a
+// knob changed meaning. The Register* helpers below are the single
+// source for those registrations (and for the fleet-era -cache-dir and
+// -backends flags), and tools/docscheck resolves them transitively, so
+// a flag registered here is cross-checked against README.md and
+// EXPERIMENTS.md exactly as if it had been registered in the command's
+// own main.go.
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Exec bundles the resolved execution knobs shared by the CLIs. All
+// three are execution-only: results are byte-identical at every
+// setting (the engine's differential goldens pin this).
+type Exec struct {
+	// Parallelism fans independent simulations out across workers
+	// (eval.Options.Parallelism). Zero when the CLI has no -parallel.
+	Parallelism int
+	// Shards parallelizes inside each simulation (engine.Config.Shards).
+	Shards int
+	// Quantum is the sharded engine's barrier window width in cycles
+	// (engine.Config.EpochQuantum).
+	Quantum int64
+}
+
+// ExecFlags holds the registered-but-unparsed execution flags; call
+// Resolve after flag.Parse.
+type ExecFlags struct {
+	parallel *int
+	shards   *int
+	quantum  *int64
+}
+
+// RegisterEngineFlags registers the per-simulation knobs every
+// engine-running CLI carries: -shards and -quantum.
+func RegisterEngineFlags() *ExecFlags {
+	return &ExecFlags{
+		shards:  flag.Int("shards", 1, "SM shards inside each simulation (1 = serial engine, 0 = one per CPU)"),
+		quantum: flag.Int64("quantum", 0, "sharded epoch window in cycles (0 = auto-derive, 1 = barrier every timestamp)"),
+	}
+}
+
+// RegisterSweepFlags registers the engine knobs plus -parallel, the
+// sweep-level fan-out used by the CLIs that run many simulations
+// (evaluate, ctacluster -all, ctad).
+func RegisterSweepFlags() *ExecFlags {
+	f := RegisterEngineFlags()
+	f.parallel = flag.Int("parallel", 0, "simulations in flight (0 = one per CPU, 1 = serial)")
+	return f
+}
+
+// Resolve validates the parsed values through the same Parallelism /
+// Shards / Quantum rules the CLIs applied individually.
+func (f *ExecFlags) Resolve() (Exec, error) {
+	var e Exec
+	var err error
+	if f.parallel != nil {
+		if e.Parallelism, err = Parallelism(*f.parallel); err != nil {
+			return Exec{}, err
+		}
+	}
+	if e.Shards, err = Shards(*f.shards); err != nil {
+		return Exec{}, err
+	}
+	if e.Quantum, err = Quantum(*f.quantum); err != nil {
+		return Exec{}, err
+	}
+	return e, nil
+}
+
+// RegisterCacheDirFlag registers -cache-dir, the persistent
+// content-addressed result-cache tier (rescache.DiskCache) used by
+// ctad: empty keeps the cache memory-only.
+func RegisterCacheDirFlag() *string {
+	return flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
+}
+
+// RegisterBackendsFlag registers -backends, the comma-separated ctad
+// base-URL list a fleet coordinator fans out to.
+func RegisterBackendsFlag() *string {
+	return flag.String("backends", "", "comma-separated ctad base URLs to fan the sweep out to (e.g. http://host:8321,http://host:8322)")
+}
+
+// Backends resolves a -backends value: every comma-separated element
+// must be a well-formed http(s) base URL; duplicates and empty elements
+// are an error rather than a silent skip — a fleet that thinks it has
+// three backends and has two is exactly the misconfiguration this
+// catches. Trailing slashes are normalized away so equal backends
+// compare equal.
+func Backends(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("missing -backends (comma-separated ctad base URLs)")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, raw := range strings.Split(csv, ",") {
+		b := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if b == "" {
+			return nil, fmt.Errorf("empty element in -backends %q", csv)
+		}
+		u, err := url.Parse(b)
+		if err != nil {
+			return nil, fmt.Errorf("bad backend URL %q: %v", b, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("bad backend URL %q: need http(s)://host[:port]", b)
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("duplicate backend %q", b)
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,426 @@
+// Package fleet is the distributed sweep coordinator: it shards the
+// paper's (architecture × application) evaluation matrix by cell, fans
+// the cells out to N ctad backends over the internal/server/client
+// HTTP API, and merges the per-cell responses back in canonical serial
+// order — so the assembled api.SweepResponse is byte-identical to a
+// single-process `evaluate -json` run, whatever the backend count,
+// scheduling interleaving, retries or failovers along the way.
+//
+// Why cells shard cleanly: every (arch, app) cell is an independent
+// set of simulations — the engine is deterministic and shares nothing
+// across cells — so the only serial part of the sweep is the merge,
+// exactly the shape "Parallelizing a modern GPU simulator" (PAPERS.md,
+// arXiv 2502.14691) reports for simulator parallelization. The merge
+// here is by construction serial-ordered: results land in a slot
+// indexed by (platform, app) position, and the response is assembled by
+// walking those slots in request order, recomputing the per-platform
+// geometric means exactly as api.SweepResponseFrom does. Since the
+// per-cell numbers round-trip JSON exactly (encoding/json emits the
+// shortest form that re-parses to the same float64/uint64), the merged
+// document carries bit-identical values — DESIGN.md §10 sketches the
+// argument.
+//
+// Failure handling mirrors a real inference fleet: per-request
+// deadlines, bounded retries with exponential jittered backoff, and
+// health-aware backend selection — a failing backend is cooled down and
+// its cells retried elsewhere; it rejoins only after a /healthz probe
+// succeeds. A cell that exhausts its attempts fails the sweep with the
+// first error in canonical cell order (the same first-error-wins rule
+// internal/eval applies), so even failure reporting is deterministic.
+//
+// Paper mapping: the cells it schedules are the Figure 12/13 matrix of
+// Section 5; the coordinator itself is reproduction infrastructure
+// beyond the paper's scope.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctacluster/internal/api"
+	"ctacluster/internal/arch"
+	"ctacluster/internal/eval"
+	"ctacluster/internal/server/client"
+	"ctacluster/internal/workloads"
+)
+
+// Options tunes a fleet sweep. The zero value is usable: every field
+// falls back to the documented default.
+type Options struct {
+	// Quick and Seed are forwarded to every cell request
+	// (api.SweepRequest); they feed the simulations and therefore the
+	// result bytes.
+	Quick bool
+	Seed  int64
+	// RequestTimeout bounds each cell request, client- and server-side
+	// (it is also sent as the request's timeout_ms). Default 5m.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds how many times one cell is tried across
+	// backends before the sweep fails. Default 3.
+	MaxAttempts int
+	// BackoffBase is the first retry delay; it doubles per attempt and
+	// is jittered ±50% so synchronized retries do not stampede a
+	// recovering backend. Default 100ms.
+	BackoffBase time.Duration
+	// Cooldown is how long a backend sits out after a failure before a
+	// health probe may readmit it. Default 2s.
+	Cooldown time.Duration
+	// InFlight bounds concurrently outstanding cell requests across the
+	// whole fleet. Default: one per backend.
+	InFlight int
+	// Logf receives one line per dispatch/retry/failover decision; nil
+	// disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Minute
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Second
+	}
+	return o
+}
+
+// Stats summarizes how the sweep executed. Execution detail only — two
+// runs of the same sweep may retry differently while producing the
+// same response bytes.
+type Stats struct {
+	Cells    int
+	Attempts uint64
+	// Retries counts attempts after the first for any cell.
+	Retries uint64
+	// Probes counts /healthz probes sent to cooled-down backends.
+	Probes uint64
+	// CellsByBackend maps backend URL to cells it completed.
+	CellsByBackend map[string]int
+}
+
+// Result pairs the merged response with the execution stats.
+type Result struct {
+	Response api.SweepResponse
+	Stats    Stats
+}
+
+// backend tracks one ctad instance's health.
+type backend struct {
+	url string
+	c   *client.Client
+
+	mu          sync.Mutex
+	consecFails int
+	downUntil   time.Time
+	cells       int
+}
+
+// available reports whether the backend may serve a request at t
+// without a fresh health probe.
+func (b *backend) available(t time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecFails == 0 || t.After(b.downUntil)
+}
+
+func (b *backend) fail(cooldown time.Duration) {
+	b.mu.Lock()
+	b.consecFails++
+	// Repeated failures cool down longer (capped), so a dead backend
+	// costs the sweep a probe only occasionally.
+	d := cooldown << min(b.consecFails-1, 5)
+	b.downUntil = time.Now().Add(d)
+	b.mu.Unlock()
+}
+
+func (b *backend) ok() {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.mu.Unlock()
+}
+
+// cell is one (platform, app) unit of work.
+type cell struct {
+	pi, ai   int
+	archName string
+	appName  string
+}
+
+// run is the state of one Sweep call.
+type run struct {
+	opt      Options
+	backends []*backend
+	next     atomic.Uint64 // round-robin cursor
+	probes   atomic.Uint64
+	attempts atomic.Uint64
+	retries  atomic.Uint64
+	rng      *lockedRand
+}
+
+func (r *run) logf(format string, args ...any) {
+	if r.opt.Logf != nil {
+		r.opt.Logf(format, args...)
+	}
+}
+
+// lockedRand is a tiny concurrency-safe jitter source. Seeded from the
+// global source; jitter shapes only timing, never results.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand() *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(rand.Int63()))}
+}
+
+func (l *lockedRand) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+// Sweep fans the (platforms × apps) matrix out to the backends and
+// merges the responses in canonical serial order. The returned
+// Response is byte-identical (through api.Marshal) to
+// eval.EvaluateAll + api.SweepResponseFrom over the same inputs.
+func Sweep(ctx context.Context, backendURLs []string, platforms []*arch.Arch, apps []*workloads.App, opt Options) (*Result, error) {
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("fleet: no backends")
+	}
+	if len(platforms) == 0 || len(apps) == 0 {
+		return nil, fmt.Errorf("fleet: empty sweep (%d platforms × %d apps)", len(platforms), len(apps))
+	}
+	opt = opt.withDefaults()
+	r := &run{opt: opt, rng: newLockedRand()}
+	for _, u := range backendURLs {
+		r.backends = append(r.backends, &backend{url: u, c: client.New(u)})
+	}
+
+	// The canonical cell list: platform-major, app-minor — the exact
+	// order the serial sweep visits and the merge reassembles.
+	var cells []cell
+	for pi, ar := range platforms {
+		for ai, app := range apps {
+			cells = append(cells, cell{pi: pi, ai: ai, archName: ar.Name, appName: app.Name()})
+		}
+	}
+
+	inFlight := opt.InFlight
+	if inFlight <= 0 {
+		inFlight = len(r.backends)
+	}
+	if inFlight > len(cells) {
+		inFlight = len(cells)
+	}
+
+	responses := make([][]*api.SweepResponse, len(platforms))
+	cellErrs := make([][]error, len(platforms))
+	for pi := range platforms {
+		responses[pi] = make([]*api.SweepResponse, len(apps))
+		cellErrs[pi] = make([]error, len(apps))
+	}
+
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < inFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				resp, err := r.runCell(ctx, c)
+				responses[c.pi][c.ai], cellErrs[c.pi][c.ai] = resp, err
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	// First error in canonical cell order wins — deterministic failure
+	// reporting, matching internal/eval's serial error precedence.
+	for pi := range platforms {
+		for ai := range apps {
+			if err := cellErrs[pi][ai]; err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	resp, err := merge(platforms, apps, responses)
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{
+		Cells:          len(cells),
+		Attempts:       r.attempts.Load(),
+		Retries:        r.retries.Load(),
+		Probes:         r.probes.Load(),
+		CellsByBackend: make(map[string]int, len(r.backends)),
+	}
+	for _, b := range r.backends {
+		b.mu.Lock()
+		st.CellsByBackend[b.url] = b.cells
+		b.mu.Unlock()
+	}
+	return &Result{Response: resp, Stats: st}, nil
+}
+
+// pick selects the next backend: round-robin over the ones not cooling
+// down; if every backend is cooling down, the round-robin choice is
+// health-probed first and readmitted only when /healthz answers. The
+// error is non-nil only when the context dies.
+func (r *run) pick(ctx context.Context) (*backend, error) {
+	start := r.next.Add(1)
+	now := time.Now()
+	for i := uint64(0); i < uint64(len(r.backends)); i++ {
+		b := r.backends[(start+i)%uint64(len(r.backends))]
+		if b.available(now) {
+			return b, nil
+		}
+	}
+	// Everyone is cooling down: probe the round-robin choice rather
+	// than giving up — a fleet with a blip on every backend should
+	// recover, not abort.
+	b := r.backends[start%uint64(len(r.backends))]
+	r.probes.Add(1)
+	probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := b.c.Health(probeCtx); err != nil {
+		r.logf("fleet: probe %s: %v", b.url, err)
+		b.fail(r.opt.Cooldown)
+		return b, ctx.Err() // caller backs off and re-picks unless ctx died
+	}
+	b.ok()
+	return b, nil
+}
+
+// runCell executes one cell with retries, backoff and failover.
+func (r *run) runCell(ctx context.Context, c cell) (*api.SweepResponse, error) {
+	req := api.SweepRequest{
+		Arch:      c.archName,
+		Apps:      []string{c.appName},
+		Quick:     r.opt.Quick,
+		Seed:      r.opt.Seed,
+		TimeoutMS: r.opt.RequestTimeout.Milliseconds(),
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.opt.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fleet: cell %s/%s: sweep cancelled: %w", c.archName, c.appName, err)
+		}
+		if attempt > 0 {
+			r.retries.Add(1)
+			if err := r.backoff(ctx, attempt); err != nil {
+				return nil, fmt.Errorf("fleet: cell %s/%s: sweep cancelled: %w", c.archName, c.appName, err)
+			}
+		}
+		b, err := r.pick(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: cell %s/%s: sweep cancelled: %w", c.archName, c.appName, err)
+		}
+		r.attempts.Add(1)
+
+		cellCtx, cancel := context.WithTimeout(ctx, r.opt.RequestTimeout)
+		resp, err := b.c.Sweep(cellCtx, req)
+		cancel()
+		if err == nil {
+			err = validateCell(resp, c)
+		}
+		if err != nil {
+			lastErr = err
+			b.fail(r.opt.Cooldown)
+			r.logf("fleet: cell %s/%s attempt %d on %s failed: %v", c.archName, c.appName, attempt+1, b.url, err)
+			continue
+		}
+		b.ok()
+		b.mu.Lock()
+		b.cells++
+		b.mu.Unlock()
+		r.logf("fleet: cell %s/%s served by %s (attempt %d)", c.archName, c.appName, b.url, attempt+1)
+		return resp, nil
+	}
+	return nil, fmt.Errorf("fleet: cell %s/%s failed after %d attempts: %w",
+		c.archName, c.appName, r.opt.MaxAttempts, lastErr)
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (1-based over retries), honouring cancellation.
+func (r *run) backoff(ctx context.Context, attempt int) error {
+	d := r.opt.BackoffBase << min(attempt-1, 10)
+	// ±50% jitter.
+	d = time.Duration(float64(d) * (0.5 + r.rng.float64()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// validateCell checks a backend's response has exactly the requested
+// cell's shape — a misrouted or version-skewed backend is a retryable
+// failure, never merged.
+func validateCell(resp *api.SweepResponse, c cell) error {
+	if len(resp.Platforms) != 1 {
+		return fmt.Errorf("cell response has %d platforms, want 1", len(resp.Platforms))
+	}
+	p := resp.Platforms[0]
+	if p.Arch != c.archName {
+		return fmt.Errorf("cell response is for platform %q, want %q", p.Arch, c.archName)
+	}
+	if len(p.Results) != 1 || p.Results[0].App != c.appName {
+		return fmt.Errorf("cell response does not carry app %q", c.appName)
+	}
+	if len(p.Results[0].Cells) == 0 {
+		return fmt.Errorf("cell response for %s/%s has no scheme cells", c.archName, c.appName)
+	}
+	return nil
+}
+
+// merge assembles the full-matrix response from the per-cell responses
+// in canonical serial order, recomputing the per-platform geometric
+// means exactly as api.SweepResponseFrom does: per scheme in legend
+// order, speedups gathered app-by-app in request order. All inputs are
+// already validated per cell.
+func merge(platforms []*arch.Arch, apps []*workloads.App, responses [][]*api.SweepResponse) (api.SweepResponse, error) {
+	out := api.SweepResponse{Platforms: make([]api.SweepPlatform, 0, len(platforms))}
+	for pi, ar := range platforms {
+		p := api.SweepPlatform{Arch: ar.Name, Generation: ar.Gen.String()}
+		speedups := map[string][]float64{}
+		for ai := range apps {
+			cellResp := responses[pi][ai]
+			got := cellResp.Platforms[0]
+			if got.Generation != p.Generation {
+				return api.SweepResponse{}, fmt.Errorf(
+					"fleet: backend disagrees on %s generation (%q vs %q) — version skew?",
+					ar.Name, got.Generation, p.Generation)
+			}
+			appRes := got.Results[0]
+			p.Results = append(p.Results, appRes)
+			for _, sc := range appRes.Cells {
+				speedups[sc.Scheme] = append(speedups[sc.Scheme], sc.Speedup)
+			}
+		}
+		for _, s := range eval.Schemes {
+			if vs, ok := speedups[s.String()]; ok {
+				p.GeoMean = append(p.GeoMean, api.SchemeGeoMean{Scheme: s.String(), Speedup: eval.GeoMean(vs)})
+			}
+		}
+		out.Platforms = append(out.Platforms, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package rescache
+
+// FuzzDiskCacheEntry throws arbitrary and mutated bytes at the on-disk
+// entry decoder (ISSUE 6 satellite; wired into `make fuzz`). The
+// decoder guards the cache's one hard promise — corruption is a miss,
+// never a wrong hit — so the properties fuzzed here are:
+//
+//  1. decodeEntry never panics, whatever the bytes;
+//  2. the encoding is canonical: if decodeEntry accepts the input, then
+//     re-encoding the decoded (key, payload) reproduces the input bit
+//     for bit — no second byte string can impersonate an entry;
+//  3. any single-byte mutation of a valid entry is rejected (the
+//     checksum covers every byte, including the checksum region itself
+//     via the exact-length rule).
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDiskCacheEntry(f *testing.F) {
+	k := testKey("fuzz seed")
+	f.Add([]byte{}, []byte{}, uint16(0))
+	f.Add(encodeEntry(k, []byte("payload")), []byte("payload"), uint16(3))
+	f.Add(encodeEntry(k, nil), []byte{}, uint16(12))
+	f.Add([]byte("CTADRES1 but then garbage follows the magic"), []byte("x"), uint16(9))
+	f.Add(encodeEntry(testKey("other"), bytes.Repeat([]byte{7}, 300)), []byte("y"), uint16(60))
+
+	f.Fuzz(func(t *testing.T, raw []byte, payload []byte, flip uint16) {
+		// Property 1+2 on arbitrary bytes: no panic, and acceptance
+		// implies canonical form.
+		if key, val, err := decodeEntry(raw); err == nil {
+			if re := encodeEntry(key, val); !bytes.Equal(re, raw) {
+				t.Fatalf("decoder accepted non-canonical bytes: %d in, %d re-encoded", len(raw), len(re))
+			}
+		}
+
+		// Property 3: a valid entry survives the round trip, and every
+		// single-byte mutation of it is rejected — a flipped entry can
+		// never decode into some other payload (a false hit).
+		valid := encodeEntry(k, payload)
+		key, val, err := decodeEntry(valid)
+		if err != nil || key != k || !bytes.Equal(val, payload) {
+			t.Fatalf("valid entry rejected: err=%v", err)
+		}
+		mutated := append([]byte(nil), valid...)
+		mutated[int(flip)%len(mutated)] ^= 1 + byte(flip>>8)
+		if mKey, mVal, err := decodeEntry(mutated); err == nil {
+			// The only acceptable "success" is the impossible one where
+			// the mutation produced a different canonical entry; even
+			// then it must not impersonate the original key with other
+			// bytes.
+			if mKey == k && !bytes.Equal(mVal, payload) {
+				t.Fatalf("mutated entry decoded to a different payload under the same key")
+			}
+			if !bytes.Equal(encodeEntry(mKey, mVal), mutated) {
+				t.Fatal("mutated entry accepted in non-canonical form")
+			}
+		}
+	})
+}

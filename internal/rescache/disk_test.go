@@ -1,0 +1,367 @@
+package rescache
+
+// Crash/corruption suite for the persistent tier (ISSUE 6 satellite).
+// Every scenario a crashed or bit-rotted filesystem can present —
+// kill-after-write-before-rename, truncated entries, flipped payload
+// bits, entries renamed under the wrong key, stale temp files at
+// startup, plain garbage — must recover to a consistent cache:
+// quarantine plus miss, never a wrong hit, never a panic, and the slot
+// must accept a fresh Put afterwards.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testKey derives a well-formed (hex, 64-char) cache key from a label.
+func testKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string) *DiskCache {
+	t.Helper()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// mustPut stores an entry and verifies it reads back.
+func mustPut(t *testing.T, d *DiskCache, key string, val []byte) {
+	t.Helper()
+	if err := d.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("entry does not read back: ok=%v", ok)
+	}
+}
+
+func TestDiskCachePutGetRestart(t *testing.T) {
+	dir := t.TempDir()
+	key, val := testKey("a"), []byte("payload bytes")
+
+	d := mustOpen(t, dir)
+	mustPut(t, d, key, val)
+
+	// A different key misses without touching the stored entry.
+	if _, ok := d.Get(testKey("b")); ok {
+		t.Fatal("unrelated key hit")
+	}
+
+	// "Restart": a fresh handle over the same directory serves the entry.
+	d2 := mustOpen(t, dir)
+	got, ok := d2.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("entry lost across restart: ok=%v", ok)
+	}
+	s := d2.Stats()
+	if s.Hits != 1 || s.Entries != 1 || s.Corruptions != 0 {
+		t.Fatalf("stats after restart = %+v", s)
+	}
+
+	// Overwrite with new bytes: last write wins, still one entry.
+	val2 := []byte("replacement")
+	mustPut(t, d2, key, val2)
+	if got, _ := d2.Get(key); !bytes.Equal(got, val2) {
+		t.Fatal("overwrite did not take")
+	}
+	if n := d2.Entries(); n != 1 {
+		t.Fatalf("entries after overwrite = %d, want 1", n)
+	}
+}
+
+// entryFile returns the path of key's entry file.
+func entryFile(d *DiskCache, key string) string { return d.entryPath(key) }
+
+// corruptionScenario mutates a healthy on-disk entry (or its
+// surroundings) and says what the mutation models.
+type corruptionScenario struct {
+	name   string
+	mutate func(t *testing.T, d *DiskCache, key string, path string)
+}
+
+func TestDiskCacheCrashAndCorruptionRecovery(t *testing.T) {
+	val := []byte("the canonical response body for this cell")
+	scenarios := []corruptionScenario{
+		{
+			// A writer killed after creating the tmp file but before the
+			// rename: the final entry never appeared, and the tmp must not
+			// resurrect as one.
+			name: "kill-after-write-before-rename",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				os.Remove(path) // the rename never happened
+				tmp := filepath.Join(filepath.Dir(path), key+".123456"+tmpSuffix)
+				if err := os.WriteFile(tmp, encodeEntry(key, val), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "truncated-entry",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				fi, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(path, fi.Size()-7); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "truncated-to-empty",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				if err := os.Truncate(path, 0); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "bit-flipped-payload",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[diskHeaderLen+len(key)+3] ^= 0x40 // inside the payload
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "bit-flipped-length-header",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[12] ^= 0x01 // valLen low byte
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// An entry copied under the wrong name (a mis-shipped warm
+			// cache, an operator mv): the embedded key catches it.
+			name: "entry-under-wrong-key",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				other := encodeEntry(testKey("some other cell"), []byte("other payload"))
+				if err := os.WriteFile(path, other, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "garbage-bytes",
+			mutate: func(t *testing.T, d *DiskCache, key, path string) {
+				if err := os.WriteFile(path, []byte("not an entry at all"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := testKey("cell under test " + sc.name)
+			d := mustOpen(t, dir)
+			mustPut(t, d, key, val)
+			path := entryFile(d, key)
+
+			sc.mutate(t, d, key, path)
+
+			// The cache reopens cleanly (models the daemon restarting
+			// right after the fault)...
+			d2 := mustOpen(t, dir)
+			// ...and the damaged slot reads as a miss, never as data.
+			if got, ok := d2.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			// A second read is still a clean miss (quarantine settled).
+			if _, ok := d2.Get(key); ok {
+				t.Fatal("second read of corrupt slot hit")
+			}
+			// The slot accepts a fresh write and serves it.
+			mustPut(t, d2, key, val)
+
+			s := d2.Stats()
+			if strings.HasPrefix(sc.name, "kill-after") {
+				// No final entry ever existed: the tmp is swept at open,
+				// nothing to quarantine.
+				if s.StaleTemps != 1 {
+					t.Fatalf("stale temps = %d, want 1 (%+v)", s.StaleTemps, s)
+				}
+				if s.Corruptions != 0 {
+					t.Fatalf("corruptions = %d, want 0 (%+v)", s.Corruptions, s)
+				}
+			} else {
+				if s.Corruptions == 0 || s.Quarantined == 0 {
+					t.Fatalf("corruption not quarantined: %+v", s)
+				}
+				// The evidence landed in quarantine/, not the void.
+				qents, err := os.ReadDir(filepath.Join(dir, quarantineName))
+				if err != nil || len(qents) == 0 {
+					t.Fatalf("quarantine dir empty (err=%v)", err)
+				}
+			}
+			if s.Entries != 1 {
+				t.Fatalf("entries = %d, want 1 after repopulation (%+v)", s.Entries, s)
+			}
+		})
+	}
+}
+
+// TestDiskCacheStaleTempSweepKeepsEntries: the startup sweep removes
+// only *.tmp files; settled entries in the same shard dir survive.
+func TestDiskCacheStaleTempSweepKeepsEntries(t *testing.T) {
+	dir := t.TempDir()
+	key, val := testKey("survivor"), []byte("v")
+	d := mustOpen(t, dir)
+	mustPut(t, d, key, val)
+
+	shard := filepath.Dir(entryFile(d, key))
+	for i := 0; i < 3; i++ {
+		tmp := filepath.Join(shard, fmt.Sprintf("%s.%d%s", key, i, tmpSuffix))
+		if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2 := mustOpen(t, dir)
+	if s := d2.Stats(); s.StaleTemps != 3 {
+		t.Fatalf("stale temps = %d, want 3", s.StaleTemps)
+	}
+	if got, ok := d2.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatal("settled entry lost to the sweep")
+	}
+	ents, err := os.ReadDir(shard)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("shard dir after sweep: %d entries, err=%v", len(ents), err)
+	}
+}
+
+func TestDiskCacheRejectsHostileKeys(t *testing.T) {
+	d := mustOpen(t, t.TempDir())
+	for _, key := range []string{"", "a", "../../etc/passwd", "ABCDEF", "zz" + testKey("x"), "aa/bb"} {
+		if _, ok := d.Get(key); ok {
+			t.Fatalf("hostile key %q hit", key)
+		}
+		if err := d.Put(key, []byte("v")); err == nil {
+			t.Fatalf("hostile key %q accepted by Put", key)
+		}
+	}
+	// Nothing escaped the root.
+	filepath.Walk(filepath.Dir(d.Dir()), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && !strings.HasPrefix(path, d.Dir()) {
+			t.Fatalf("file written outside cache root: %s", path)
+		}
+		return nil
+	})
+}
+
+// TestDiskCacheConcurrent exercises racing writers and readers on
+// overlapping keys under -race: last write wins per key, every read is
+// either a valid payload or a miss.
+func TestDiskCacheConcurrent(t *testing.T) {
+	d := mustOpen(t, t.TempDir())
+	const keys, iters = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := testKey(fmt.Sprintf("k%d", (w+i)%keys))
+				if i%3 == 0 {
+					if err := d.Put(k, []byte(k)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if v, ok := d.Get(k); ok && !bytes.Equal(v, []byte(k)) {
+					t.Errorf("wrong payload for %s", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := d.Stats(); s.Corruptions != 0 || s.WriteErrors != 0 {
+		t.Fatalf("concurrent churn corrupted the cache: %+v", s)
+	}
+}
+
+// TestTieredPromotion: a memory miss that disk-hits is promoted, so the
+// next read never touches disk; a nil disk degrades to memory-only.
+func TestTieredPromotion(t *testing.T) {
+	disk := mustOpen(t, t.TempDir())
+	key, val := testKey("promote me"), []byte("body")
+	if err := disk.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := NewTiered(New(0, 0), disk)
+	got, ok := tc.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("tiered get missed a disk entry")
+	}
+	if tc.Mem().Len() != 1 {
+		t.Fatal("disk hit was not promoted to memory")
+	}
+	diskHits := disk.Stats().Hits
+	if _, ok := tc.Get(key); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if disk.Stats().Hits != diskHits {
+		t.Fatal("promoted read still went to disk")
+	}
+
+	memOnly := NewTiered(New(0, 0), nil)
+	if _, ok := memOnly.Get(key); ok {
+		t.Fatal("memory-only tiered store hit from nowhere")
+	}
+	memOnly.Put(key, val)
+	if got, ok := memOnly.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatal("memory-only tiered store lost its entry")
+	}
+}
+
+// TestTieredWriteThrough: a Put lands in both tiers, so a new process
+// (fresh memory tier, same directory) warm-starts from disk.
+func TestTieredWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	key, val := testKey("write through"), []byte("body")
+
+	tc := NewTiered(New(0, 0), mustOpen(t, dir))
+	tc.Put(key, val)
+
+	restarted := NewTiered(New(0, 0), mustOpen(t, dir))
+	got, ok := restarted.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("entry did not survive the restart")
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	for _, val := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		key := testKey(fmt.Sprintf("len %d", len(val)))
+		enc := encodeEntry(key, val)
+		k, v, err := decodeEntry(enc)
+		if err != nil || k != key || !bytes.Equal(v, val) {
+			t.Fatalf("round trip failed: key %v val %d bytes err %v", k == key, len(v), err)
+		}
+	}
+}

@@ -72,6 +72,13 @@ type Config struct {
 	// rescache.New).
 	CacheBytes   int64
 	CacheEntries int
+	// CacheDir, when non-empty, adds a persistent content-addressed
+	// tier under the in-memory LRU (rescache.DiskCache): every computed
+	// response is also written durably, restarts warm-start from disk,
+	// and a populated directory can be shipped to a new fleet member.
+	// Corrupt entries are quarantined on read and recomputed — the tier
+	// can forget, never lie. Empty keeps the cache memory-only.
+	CacheDir string
 	// DefaultTimeout caps requests that carry no timeout_ms (default
 	// 5m); MaxTimeout clamps client-requested deadlines (default 30m).
 	DefaultTimeout time.Duration
@@ -84,14 +91,17 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	start   time.Time
-	cache   *rescache.Cache
+	cache   *rescache.Tiered
 	flights rescache.Group
 	queue   *queue
 	mux     *http.ServeMux
 }
 
-// New builds a daemon with cfg, applying defaults to zero fields.
-func New(cfg Config) *Server {
+// New builds a daemon with cfg, applying defaults to zero fields. It
+// fails only when a configured persistent cache directory cannot be
+// opened — a daemon asked for durability must not silently run without
+// it.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -106,10 +116,17 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 30 * time.Minute
 	}
+	var disk *rescache.DiskCache
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = rescache.OpenDisk(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:   cfg,
 		start: time.Now(),
-		cache: rescache.New(cfg.CacheBytes, cfg.CacheEntries),
+		cache: rescache.NewTiered(rescache.New(cfg.CacheBytes, cfg.CacheEntries), disk),
 		queue: newQueue(cfg.Workers, cfg.MaxQueue),
 	}
 	mux := http.NewServeMux()
@@ -121,7 +138,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -428,9 +445,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
+	cs := s.cache.Mem().Stats()
 	fs := s.flights.Stats()
-	s.serveStatic(w, api.MetricsResponse{
+	resp := api.MetricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache: api.CacheStats{
 			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
@@ -439,5 +456,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Singleflight: api.FlightStats{Leaders: fs.Leaders, Joined: fs.Joined, Inflight: fs.Inflight},
 		Queue:        s.queue.stats(),
 		ProfCounters: prof.CounterNames(),
-	})
+	}
+	if disk := s.cache.Disk(); disk != nil {
+		ds := disk.Stats()
+		resp.DiskCache = &api.DiskCacheStats{
+			Hits: ds.Hits, Misses: ds.Misses, Writes: ds.Writes,
+			WriteErrors: ds.WriteErrors, Corruptions: ds.Corruptions,
+			Quarantined: ds.Quarantined, StaleTemps: ds.StaleTemps,
+			Entries: ds.Entries,
+		}
+	}
+	s.serveStatic(w, resp)
 }

@@ -10,7 +10,10 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"io/fs"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -26,7 +29,11 @@ import (
 // newDaemon starts a daemon on an ephemeral port and returns its client.
 func newDaemon(t *testing.T, cfg server.Config) *client.Client {
 	t.Helper()
-	ts := httptest.NewServer(server.New(cfg).Handler())
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return client.New(ts.URL)
 }
@@ -472,5 +479,126 @@ func TestSimulateQuantumSharesCacheEntries(t *testing.T) {
 	}
 	if m.Queue.Executions != 1 {
 		t.Fatalf("executions = %d, want 1 — quantum requests must share the cache entry", m.Queue.Executions)
+	}
+}
+
+// TestDiskCacheSurvivesRestart is the durability acceptance criterion:
+// a daemon with -cache-dir computes once; a fresh daemon on the same
+// directory — a new process in real life — serves the same request from
+// disk with byte-identical body and no new engine execution.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := api.SimulateRequest{App: "MM", Arch: "TeslaK40"}
+
+	c1 := newDaemon(t, server.Config{Workers: 2, CacheDir: dir})
+	cold, disp, err := c1.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "miss" {
+		t.Fatalf("cold disposition = %q, want miss", disp)
+	}
+	m, err := c1.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DiskCache == nil {
+		t.Fatal("daemon with CacheDir reports no disk_cache metrics")
+	}
+	if m.DiskCache.Writes != 1 || m.DiskCache.Entries != 1 {
+		t.Fatalf("disk stats after cold request = %+v, want 1 write / 1 entry", m.DiskCache)
+	}
+
+	// "Restart": a brand-new daemon (empty memory LRU) on the same dir.
+	c2 := newDaemon(t, server.Config{Workers: 2, CacheDir: dir})
+	warm, disp, err := c2.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "hit" {
+		t.Fatalf("post-restart disposition = %q, want hit from disk", disp)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("post-restart body differs:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	m, err = c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue.Executions != 0 {
+		t.Fatalf("restarted daemon ran %d simulations, want 0 (disk hit)", m.Queue.Executions)
+	}
+	if m.DiskCache == nil || m.DiskCache.Hits != 1 {
+		t.Fatalf("restarted daemon disk stats = %+v, want 1 hit", m.DiskCache)
+	}
+
+	// The disk hit was promoted to memory: a repeat on the same daemon
+	// is a memory hit, not another disk read.
+	if _, disp, err = c2.SimulateRaw(ctx, req); err != nil || disp != "hit" {
+		t.Fatalf("promoted repeat = %q, %v", disp, err)
+	}
+	m, err = c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DiskCache.Hits != 1 {
+		t.Fatalf("repeat went back to disk (%d disk hits, want 1) — promotion broken", m.DiskCache.Hits)
+	}
+}
+
+// TestDiskCacheQuarantineServesMiss: corrupting the stored entry on
+// disk must degrade to a recomputation, never a wrong answer — and the
+// corrupt file is quarantined, not served or deleted.
+func TestDiskCacheQuarantineServesMiss(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := api.SimulateRequest{App: "KMN", Arch: "GTX570"}
+
+	c1 := newDaemon(t, server.Config{Workers: 1, CacheDir: dir})
+	cold, _, err := c1.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of every stored entry.
+	var entries []string
+	if err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".entry") {
+			entries = append(entries, path)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("found %d entry files, want 1", len(entries))
+	}
+	blob, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(entries[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newDaemon(t, server.Config{Workers: 1, CacheDir: dir})
+	recomputed, disp, err := c2.SimulateRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "miss" {
+		t.Fatalf("corrupt-entry disposition = %q, want miss (recompute)", disp)
+	}
+	if !bytes.Equal(cold, recomputed) {
+		t.Fatal("recomputed body differs from the original — determinism broken")
+	}
+	m, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DiskCache == nil || m.DiskCache.Corruptions != 1 || m.DiskCache.Quarantined != 1 {
+		t.Fatalf("disk stats after corruption = %+v, want 1 corruption / 1 quarantined", m.DiskCache)
 	}
 }

@@ -16,8 +16,14 @@
 // `go run ./cmd/NAME` invocation; every `-flag` token after that point
 // on the line is then required to be registered by the command (flags
 // are discovered by parsing the command's source for flag.String /
-// flag.Bool / ... / flag.*Var calls). Tokens on lines with no known
-// command (curl, go test, shell built-ins) are ignored.
+// flag.Bool / ... / flag.*Var calls). Flags registered through the
+// shared internal/cli helpers (cli.RegisterSweepFlags and friends) are
+// resolved transitively: docscheck parses internal/cli, computes each
+// helper's registered-flag set (including helpers calling helpers), and
+// credits those flags to any command that calls the helper — so moving
+// a registration into internal/cli cannot silently exempt it from the
+// documentation cross-check. Tokens on lines with no known command
+// (curl, go test, shell built-ins) are ignored.
 //
 // Usage:
 //
@@ -140,8 +146,13 @@ func hasPackageDoc(dir string) (bool, error) {
 
 // registeredFlags parses every cmd/* main package and returns, per
 // command name, the set of flag names it registers via the flag package
-// (flag.String, flag.Bool, ..., and the *Var / Func forms).
+// (flag.String, flag.Bool, ..., and the *Var / Func forms) or through
+// one of the shared internal/cli Register* helpers.
 func registeredFlags(root string) (map[string]map[string]bool, error) {
+	helperFlags, err := cliHelperFlags(root)
+	if err != nil {
+		return nil, err
+	}
 	cmdRoot := filepath.Join(root, "cmd")
 	ents, err := os.ReadDir(cmdRoot)
 	if err != nil {
@@ -152,7 +163,7 @@ func registeredFlags(root string) (map[string]map[string]bool, error) {
 		if !e.IsDir() {
 			continue
 		}
-		flags, err := flagsInDir(filepath.Join(cmdRoot, e.Name()))
+		flags, err := flagsInDir(filepath.Join(cmdRoot, e.Name()), helperFlags)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +175,123 @@ func registeredFlags(root string) (map[string]map[string]bool, error) {
 	return out, nil
 }
 
-func flagsInDir(dir string) (map[string]bool, error) {
+// flagRegistration maps the flag.* registration functions onto the
+// argument index holding the flag name, or -1 for non-registrations.
+func flagRegistrationNameArg(fn string) int {
+	switch fn {
+	case "Bool", "Int", "Int64", "Uint", "Uint64", "String",
+		"Float64", "Duration", "Func", "TextVar":
+		return 0
+	case "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var",
+		"StringVar", "Float64Var", "DurationVar", "Var":
+		return 1
+	}
+	return -1
+}
+
+// directFlagCalls records into flags every flag registered by flag.*
+// calls under n, and into helperCalls (when non-nil) the name of every
+// pkgName.Fn(...) helper call under n.
+func directFlagCalls(n ast.Node, pkgName string, flags map[string]bool, helperCalls map[string]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if recv.Name == pkgName && helperCalls != nil {
+			helperCalls[sel.Sel.Name] = true
+		}
+		if recv.Name != "flag" {
+			return true
+		}
+		nameArg := flagRegistrationNameArg(sel.Sel.Name)
+		if nameArg < 0 || nameArg >= len(call.Args) {
+			return true
+		}
+		if lit, ok := call.Args[nameArg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				flags[name] = true
+			}
+		}
+		return true
+	})
+}
+
+// cliHelperFlags parses internal/cli and returns, per exported helper
+// function, the set of flags it registers — transitively, so a helper
+// that calls another local helper (RegisterSweepFlags calling
+// RegisterEngineFlags) is credited with the callee's flags too.
+func cliHelperFlags(root string) (map[string]map[string]bool, error) {
+	dir := filepath.Join(root, "internal", "cli")
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	direct := make(map[string]map[string]bool) // fn -> flags registered in its own body
+	calls := make(map[string]map[string]bool)  // fn -> local fns it calls
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := fd.Name.Name
+				if direct[name] == nil {
+					direct[name] = make(map[string]bool)
+					calls[name] = make(map[string]bool)
+				}
+				directFlagCalls(fd.Body, "", direct[name], nil)
+				// Bare local calls: Fn(...) with Fn a package function.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						calls[name][id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Fixpoint: propagate callee flags to callers until stable. The call
+	// graph is tiny; a bounded loop is simpler than a topological sort.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for callee := range callees {
+				for fl := range direct[callee] {
+					if !direct[fn][fl] {
+						direct[fn][fl] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct, nil
+}
+
+// flagsInDir collects the flags a command registers: directly via
+// flag.*, and indirectly via cli.Helper() calls resolved through
+// helperFlags.
+func flagsInDir(dir string, helperFlags map[string]map[string]bool) (map[string]bool, error) {
 	flags := make(map[string]bool)
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
@@ -175,40 +302,13 @@ func flagsInDir(dir string) (map[string]bool, error) {
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+			helperCalls := make(map[string]bool)
+			directFlagCalls(f, "cli", flags, helperCalls)
+			for fn := range helperCalls {
+				for fl := range helperFlags[fn] {
+					flags[fl] = true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				recv, ok := sel.X.(*ast.Ident)
-				if !ok || recv.Name != "flag" {
-					return true
-				}
-				nameArg := -1
-				switch sel.Sel.Name {
-				case "Bool", "Int", "Int64", "Uint", "Uint64", "String",
-					"Float64", "Duration", "Func", "TextVar":
-					nameArg = 0
-				case "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var",
-					"StringVar", "Float64Var", "DurationVar", "Var":
-					nameArg = 1
-				default:
-					return true
-				}
-				if nameArg >= len(call.Args) {
-					return true
-				}
-				if lit, ok := call.Args[nameArg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
-					if name, err := strconv.Unquote(lit.Value); err == nil {
-						flags[name] = true
-					}
-				}
-				return true
-			})
+			}
 		}
 	}
 	return flags, nil
