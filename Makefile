@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke vet prof prof-golden server fleet-smoke docs-check
+.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -20,28 +20,44 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz smoke of the partition bijection, the sharded-engine
-# quantum equivalence and the disk-cache entry codec; CI runs these
-# bounded, `make fuzz FUZZTIME=10m` digs deeper locally. (go test
-# accepts one -fuzz pattern per run, so each target is its own
-# invocation.)
+# quantum equivalence, the event-queue pop order and the disk-cache
+# entry codec; CI runs these bounded, `make fuzz FUZZTIME=10m` digs
+# deeper locally. (go test accepts one -fuzz pattern per run, so each
+# target is its own invocation.)
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzEpochQuantum -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzEventQueueOrder -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheEntry -fuzztime=$(FUZZTIME) ./internal/rescache
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The scaling-benchmark gate the CI enforces: one iteration of every
-# BenchmarkRunSharded cell (shards x epoch quantum) under the race
-# detector, so the windowed coordinator, the provisional-seq merge and
-# the token path are exercised on every PR even when no test sweep
-# happens to hit a given (shards, quantum) combination. Timings from
-# this target are meaningless (race overhead); BENCH_shard.json records
-# the real curve measured without instrumentation.
+# cores=1 BenchmarkRunSharded cell (shards x epoch quantum) under the
+# race detector, so the windowed coordinator, the provisional-seq merge
+# and the token path are exercised on every PR even when no test sweep
+# happens to hit a given (shards, quantum) combination. cores=1 only:
+# the cores=4 cells exist to measure real parallel hardware, and on an
+# oversubscribed CI runner their spin-waits make race timings useless
+# at added minutes of cost. Timings from this target are meaningless
+# anyway (race overhead); BENCH_shard.json records the real curve
+# measured without instrumentation.
 bench-smoke:
-	$(GO) test -race -run='^$$' -bench=BenchmarkRunSharded -benchtime=1x ./internal/engine
+	$(GO) test -race -run='^$$' -bench='BenchmarkRunSharded/cores=1' -benchtime=1x ./internal/engine
+
+# The allocation gate the CI enforces: the pinned allocation budget
+# table (alloc_ext_test.go — every cell within 5% of the post-diet
+# measurement), the zero-alloc queue and coalescing contracts, and a
+# short allocation-reporting pass of the scaling benchmark for the
+# log. Uninstrumented on purpose: race builds change allocation counts,
+# so this gate is the one place the CI runs the engine without -race.
+# Pipe two runs through `benchstat` locally if you want significance
+# on the ns/op column; the alloc columns are deterministic.
+bench-alloc:
+	$(GO) test -run='TestAllocationBudgets|TestEventQueueSchedulePopZeroAlloc|TestAppendTransactionsZeroAlloc' -count=1 -v ./internal/engine ./internal/kernel | grep -v '^=== RUN'
+	$(GO) test -run='^$$' -bench='BenchmarkRunSharded/cores=1/shards=1' -benchtime=3x -benchmem ./internal/engine
 
 # The daemon gate the CI enforces: the ctad end-to-end suite (cold/warm
 # byte-identity, 16-way request dedup, client-disconnect cancellation,

@@ -1,0 +1,84 @@
+package engine_test
+
+// The allocation budget table: the enforcement half of the hot-path
+// allocation diet. Each cell pins the whole-run allocation count of a
+// real workload on TeslaK40 — serial and sharded, bare and profiled —
+// to a budget 5% above the measured post-diet value. A change that
+// reintroduces per-event allocations (queue boxing, per-access
+// transaction slices, per-object warp/CTA allocation) blows these
+// budgets by orders of magnitude, not percent, so the 5% headroom
+// tolerates runtime noise without tolerating regressions.
+
+import (
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/workloads"
+)
+
+// allocBudgets is the table. Budgets are whole-run allocation counts
+// (testing.AllocsPerRun averages over 2 runs); profiled rows include
+// the Trace's own event-buffer growth, which amortized doubling keeps
+// to a few dozen allocations.
+var allocBudgets = []struct {
+	app      string
+	shards   int
+	profiled bool
+	budget   float64
+}{
+	{"MM", 1, false, 13400},
+	{"MM", 1, true, 13450},
+	{"MM", 4, false, 18050},
+	{"MM", 4, true, 18250},
+	{"SGM", 1, false, 7700},
+	{"SGM", 1, true, 7750},
+	{"SGM", 4, false, 10450},
+	{"SGM", 4, true, 10600},
+}
+
+func TestAllocationBudgets(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("allocation counts are only meaningful uninstrumented")
+	}
+	ar := arch.TeslaK40()
+	for _, c := range allocBudgets {
+		name := c.app
+		if c.shards == 1 {
+			name += "/serial"
+		} else {
+			name += "/sharded"
+		}
+		if c.profiled {
+			name += "/profiled"
+		} else {
+			name += "/bare"
+		}
+		t.Run(name, func(t *testing.T) {
+			app, err := workloads.New(c.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				cfg := engine.DefaultConfig(ar)
+				cfg.Shards = c.shards
+				if c.profiled {
+					cfg.Profiler = prof.NewTrace(prof.TraceConfig{
+						Kernel: c.app, Arch: ar.Name, SMs: ar.SMs,
+						Events: prof.MaskAll, SampleInterval: 5000,
+					})
+				}
+				if _, err := engine.Run(cfg, app); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(2, run)
+			t.Logf("%s: %.0f allocs/run (budget %.0f)", name, got, c.budget)
+			if got > c.budget {
+				t.Errorf("%s allocates %.0f times per run, budget %.0f (+5%% over the post-diet measurement) — the allocation diet regressed",
+					name, got, c.budget)
+			}
+		})
+	}
+}

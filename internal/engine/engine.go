@@ -73,6 +73,14 @@ type Config struct {
 	// Observability only: it never influences results, and is excluded
 	// from the rescache key like the other execution-only fields.
 	ShardStats *ShardStats
+	// RefEventQueue selects the reference event queue — a plain typed
+	// binary heap — instead of the default bucketed calendar queue
+	// (event.go). The two are byte-identical in every output at every
+	// (Shards, EpochQuantum) setting; the differential test wall
+	// (queue_diff_test.go) holds the implementations to that. Execution-
+	// only like Shards: excluded from the rescache key, and useful in
+	// production solely as an escape hatch.
+	RefEventQueue bool
 }
 
 // DefaultConfig returns the customary configuration for an architecture:
@@ -199,9 +207,15 @@ type lane struct {
 	pos      lanePos        // published position for the global-state token
 	pending  []pendingEvent // schedule calls logged during this window
 	assigned []uint64       // serial seqs the merge assigned to pending
+	batch    []event        // window-edge merge batch awaiting bulk load
 	arena    nodeArena      // window-lifetime callNode storage
 	buf      []taggedEvent  // buffered profiler emissions
 	bufMark  int            // buf prefix already carrying serial seqs
+
+	// txBuf is the lane's coalescing scratch: memAccess appends each
+	// op's transactions into it (kernel.MemOp.AppendTransactions) so the
+	// hot path builds no per-op slices. Lane-private, reused per op.
+	txBuf []uint64
 }
 
 // sim is the run state.
@@ -229,6 +243,14 @@ type sim struct {
 
 	records []CTARecord
 	perSM   [][]int
+
+	// Per-run slabs: warp and CTA states are carved out of two presized
+	// arrays instead of being allocated one object per dispatch
+	// (sm.go newWarp/newCTA). Slab addresses are stable for the run —
+	// events and slots hold pointers into them. finishWarp drops a dead
+	// warp's trace so slab retention cannot pin every CTA's ops at once.
+	warpSlab []warpState
+	ctaSlab  []ctaState
 
 	// occupancy integral
 	occLast  int64
@@ -306,6 +328,8 @@ func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, erro
 		warpsPerCTA: warpsPerCTA,
 		records:     make([]CTARecord, total),
 		perSM:       make([][]int, ar.SMs),
+		warpSlab:    make([]warpState, 0, total*warpsPerCTA),
+		ctaSlab:     make([]ctaState, 0, total),
 	}
 	s.sms = make([]*smState, ar.SMs)
 	for i := range s.sms {
@@ -335,7 +359,7 @@ func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, erro
 	}
 	s.lanes = make([]*lane, shards)
 	for i := range s.lanes {
-		s.lanes[i] = &lane{s: s, id: i}
+		s.lanes[i] = &lane{s: s, id: i, q: newScheduler(cfg.RefEventQueue)}
 	}
 	s.laneOf = make([]*lane, ar.SMs)
 	for i := range s.laneOf {

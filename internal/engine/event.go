@@ -1,6 +1,50 @@
 package engine
 
-import "container/heap"
+// The engine's event queue. Two implementations share the scheduler
+// front-end:
+//
+//   - The default is a two-level calendar queue: a ring of bucketCount
+//     cycle buckets over a typed binary heap. Events within the bucket
+//     horizon [base, base+bucketCount) land in the bucket of their cycle
+//     with an O(1) append and pop back out with an O(1) cursor scan; only
+//     events beyond the horizon pay the heap's O(log n) sift. Because the
+//     engine consumes events in nondecreasing cycle order and every
+//     schedule call is strictly future (shard.go's invariant 2), each
+//     bucket is appended in increasing seq order — see the invariant
+//     argument below — so a bucket never needs sorting or heap repair.
+//     Nothing boxes: pushes and pops move flat event values, so the
+//     steady-state queue cost is zero allocations (pinned by
+//     TestEventQueueSchedulePopZeroAlloc and the alloc budget table).
+//
+//   - Config.RefEventQueue selects the reference implementation: a plain
+//     typed binary min-heap ordered by (at, seq), semantically the
+//     pre-diet container/heap queue without the interface{} boxing. It
+//     exists for the differential test wall (queue_diff_test.go) and as
+//     an escape hatch: both implementations must produce byte-identical
+//     pop orders on every legal schedule sequence.
+//
+// Per-bucket seq-sortedness invariant. A bucket receives appends from
+// three sources, and each appends in increasing seq order with every
+// later source's seqs larger than every earlier one's:
+//
+//  1. Horizon drains (rebase): the heap pops in (at, seq) order, so the
+//     events drained into one bucket (= one cycle) arrive in increasing
+//     seq order. A rebase only runs when every bucket is empty, so two
+//     drains never interleave within one bucket lap.
+//  2. Serial-path pushes: the serial scheduler's seq counter is global
+//     and monotone, so any direct push carries a seq above every seq
+//     already queued anywhere.
+//  3. Sharded pushes: in-window provisional seqs (provBase + pending
+//     index) increase in lane-local call order and sort above every
+//     serial seq; window-edge merge pushes (scheduleSeq/scheduleBatch)
+//     carry freshly assigned serial seqs from the coordinator's monotone
+//     counter, above every seq assigned earlier. Provisional events are
+//     always consumed within their window, so no provisional entry ever
+//     outlives a lap and appears below a later serial append.
+//
+// Pops therefore read each bucket front to back and get (at, seq) order
+// for free; FuzzEventQueueOrder drives randomized legal schedules against
+// a sort-based model to keep the argument honest.
 
 // event is one schedulable occurrence: a warp becoming ready to issue
 // its next op at a given cycle.
@@ -16,28 +60,140 @@ type event struct {
 	node *callNode
 }
 
-type eventQueue []event
+// eventHeap is a typed binary min-heap of events ordered by (at, seq).
+// It is the far tier of the calendar queue and, alone, the whole
+// reference implementation. No interface{} crosses its API: push and pop
+// sift flat event values in place.
+type eventHeap []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return h[i].seq < h[j].seq
 }
 
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the warp pointer for the GC
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(r, l) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return top
+}
+
+// bucketCount is the calendar span in cycles: a power of two so the
+// bucket of a cycle is a mask, sized past every architecture's derived
+// epoch quantum (min over the latency table - 1; at most 131 today, see
+// DeriveEpochQuantum) so a whole shard window's in-window schedules land
+// in buckets. Correctness never depends on the span — a window wider
+// than the span just pays a mid-window rebase — only the O(1) fast path
+// does.
+const (
+	bucketCount = 256
+	bucketMask  = bucketCount - 1
+)
+
+// eventBucket holds the queued events of one cycle in seq order; head
+// indexes the first unpopped entry. Emptying a bucket resets it to its
+// full capacity, so steady state recycles the same backing arrays.
+type eventBucket struct {
+	ev   []event
+	head int
+}
+
+// scheduler is one lane's event queue plus its serial tie-break counter.
 type scheduler struct {
-	q   eventQueue
 	seq uint64
+
+	// Calendar tier: bkt[c&bucketMask] holds cycle c's events for
+	// c in [base, base+bucketCount); far holds everything at or past the
+	// horizon. cur is the pop cursor: no queued bucket event is at a
+	// cycle below it. inBkt counts bucketed events.
+	bkt   []eventBucket
+	far   eventHeap
+	base  int64
+	cur   int64
+	inBkt int
+
+	// ref routes every push and pop through the far heap alone — the
+	// reference (pre-diet) queue discipline (Config.RefEventQueue).
+	ref bool
+}
+
+func newScheduler(ref bool) scheduler {
+	s := scheduler{ref: ref}
+	if !ref {
+		s.bkt = make([]eventBucket, bucketCount)
+	}
+	return s
+}
+
+// push routes one event to its tier. The bucket append relies on the
+// per-bucket seq-sortedness invariant documented at the top of the file.
+func (s *scheduler) push(e event) {
+	if !s.ref && e.at < s.base+bucketCount {
+		b := &s.bkt[e.at&bucketMask]
+		b.ev = append(b.ev, e)
+		s.inBkt++
+		// A head() peek may have cached a cursor past this cycle (it
+		// scanned to a later leftover event); pull it back so the pop scan
+		// cannot pass this bucket. e.at > base always — every push is
+		// strictly future of the lane's last pop, and base never exceeds
+		// that pop's cycle — so the ring mapping stays unaliased.
+		if e.at < s.cur {
+			s.cur = e.at
+		}
+		return
+	}
+	s.far.push(e)
+}
+
+// rebase jumps the calendar to the heap's head cycle and drains every
+// event within the new horizon into its bucket. It runs only when all
+// buckets are empty, so each bucket receives at most one drain per lap.
+func (s *scheduler) rebase() {
+	s.base = s.far[0].at
+	s.cur = s.base
+	horizon := s.base + bucketCount
+	for len(s.far) > 0 && s.far[0].at < horizon {
+		e := s.far.pop()
+		b := &s.bkt[e.at&bucketMask]
+		b.ev = append(b.ev, e)
+		s.inBkt++
+	}
 }
 
 // schedule enqueues w with the next internally counted sequence number.
@@ -46,7 +202,7 @@ type scheduler struct {
 // needs for determinism.
 func (s *scheduler) schedule(at int64, w *warpState) {
 	s.seq++
-	heap.Push(&s.q, event{at: at, seq: s.seq, warp: w})
+	s.push(event{at: at, seq: s.seq, warp: w})
 }
 
 // scheduleSeq enqueues w under an externally assigned sequence number.
@@ -54,7 +210,18 @@ func (s *scheduler) schedule(at int64, w *warpState) {
 // order the serial engine's counter would have produced — so the
 // tie-break stays byte-identical at every shard count (see shard.go).
 func (s *scheduler) scheduleSeq(at int64, seq uint64, w *warpState) {
-	heap.Push(&s.q, event{at: at, seq: seq, warp: w})
+	s.push(event{at: at, seq: seq, warp: w})
+}
+
+// scheduleBatch bulk-loads the lane's slice of a window-edge merge: one
+// presized, (at, seq)-sorted slice per window instead of a stream of
+// scheduleSeq calls (see (*sharder).mergePending). Sorted input keeps
+// the per-bucket seq invariant trivially and touches each bucket's
+// append path in cycle order.
+func (s *scheduler) scheduleBatch(evs []event) {
+	for i := range evs {
+		s.push(evs[i])
+	}
 }
 
 // schedulePending enqueues w under a provisional sequence number for
@@ -62,26 +229,81 @@ func (s *scheduler) scheduleSeq(at int64, seq uint64, w *warpState) {
 // schedule call's position until the window-edge merge assigns the
 // serial seq (see shard.go).
 func (s *scheduler) schedulePending(at int64, seq uint64, n *callNode, w *warpState) {
-	heap.Push(&s.q, event{at: at, seq: seq, warp: w, node: n})
+	s.push(event{at: at, seq: seq, warp: w, node: n})
 }
 
+// next pops the earliest queued event in (at, seq) order.
 func (s *scheduler) next() (event, bool) {
-	if len(s.q) == 0 {
-		return event{}, false
+	if s.ref {
+		if len(s.far) == 0 {
+			return event{}, false
+		}
+		return s.far.pop(), true
 	}
-	return heap.Pop(&s.q).(event), true
+	if s.inBkt == 0 {
+		if len(s.far) == 0 {
+			return event{}, false
+		}
+		s.rebase()
+	}
+	for {
+		b := &s.bkt[s.cur&bucketMask]
+		if b.head < len(b.ev) {
+			e := b.ev[b.head]
+			b.ev[b.head].warp = nil // drop for the GC until the slot recycles
+			b.head++
+			if b.head == len(b.ev) {
+				b.ev = b.ev[:0]
+				b.head = 0
+			}
+			s.inBkt--
+			return e, true
+		}
+		// Every queued bucket event sits at or above cur (pushes are
+		// strictly future of the last pop), so skipping an empty cycle
+		// never passes one; inBkt > 0 bounds the scan to the span.
+		s.cur++
+	}
+}
+
+// head peeks the earliest queued event without removing it.
+func (s *scheduler) head() (event, bool) {
+	if s.ref {
+		if len(s.far) == 0 {
+			return event{}, false
+		}
+		return s.far[0], true
+	}
+	if s.inBkt == 0 {
+		if len(s.far) == 0 {
+			return event{}, false
+		}
+		// Far events all sit at or past the horizon; no bucket event
+		// exists to undercut the heap head. Rebase is deferred to next().
+		return s.far[0], true
+	}
+	c := s.cur
+	for {
+		b := &s.bkt[c&bucketMask]
+		if b.head < len(b.ev) {
+			s.cur = c // cache the scan: cur only ever rises to the head's cycle
+			return b.ev[b.head], true
+		}
+		c++
+	}
 }
 
 // headAt returns the cycle of the earliest queued event.
 func (s *scheduler) headAt() (int64, bool) {
-	if len(s.q) == 0 {
-		return 0, false
-	}
-	return s.q[0].at, true
+	e, ok := s.head()
+	return e.at, ok
 }
 
 // headSeq returns the seq of the earliest queued event; the queue must
 // be non-empty.
-func (s *scheduler) headSeq() uint64 { return s.q[0].seq }
+func (s *scheduler) headSeq() uint64 {
+	e, _ := s.head()
+	return e.seq
+}
 
-func (s *scheduler) empty() bool { return len(s.q) == 0 }
+func (s *scheduler) empty() bool { return s.inBkt == 0 && len(s.far) == 0 }

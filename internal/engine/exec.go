@@ -160,6 +160,7 @@ func drains(op kernel.Op) bool {
 
 func (l *lane) finishWarp(w *warpState) {
 	w.done = true
+	w.ops = nil // the slab retains w; don't let it pin the trace too
 	cta := w.cta
 	cta.live--
 	if cta.live == 0 {
@@ -203,7 +204,8 @@ func (l *lane) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64
 		// unapplied fills must land first so the invalidation sees them.
 		if s.cfg.L1Enabled && !m.Bypass {
 			sector := s.sectorFor(cta)
-			for _, a := range m.Transactions(ar.L1Line) {
+			l.txBuf = m.AppendTransactions(l.txBuf[:0], ar.L1Line)
+			for _, a := range l.txBuf {
 				key := lineKey(a/uint64(ar.L1Line), sector)
 				if fd, ok := sm.pendFills[key]; ok && fd <= issue {
 					sm.l1.Fill(a, sector)
@@ -217,7 +219,8 @@ func (l *lane) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64
 		}
 		done := issue + storeAckLatency
 		l.global()
-		for _, a := range m.Transactions(ar.L2Line) {
+		l.txBuf = m.AppendTransactions(l.txBuf[:0], ar.L2Line)
+		for _, a := range l.txBuf {
 			if t := s.memsys.Write(issue, sm.id, a, ar.L2Line); t > done {
 				_ = t // stores are fire-and-forget; bank pressure still applied
 			}
@@ -229,7 +232,8 @@ func (l *lane) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64
 	if !s.cfg.L1Enabled || m.Bypass {
 		done := issue
 		l.global()
-		for _, a := range m.Transactions(ar.L2Line) {
+		l.txBuf = m.AppendTransactions(l.txBuf[:0], ar.L2Line)
+		for _, a := range l.txBuf {
 			res := sm.l1.BypassRead()
 			if s.prof != nil {
 				l.emitL1(sm, cta, a, res, issue, false)
@@ -246,7 +250,8 @@ func (l *lane) memAccess(sm *smState, cta *ctaState, m kernel.MemOp, issue int64
 
 	sector := s.sectorFor(cta)
 	done := issue
-	for _, a := range m.Transactions(ar.L1Line) {
+	l.txBuf = m.AppendTransactions(l.txBuf[:0], ar.L1Line)
+	for _, a := range l.txBuf {
 		key := lineKey(a/uint64(ar.L1Line), sector)
 		if fd, ok := sm.pendFills[key]; ok && fd <= issue {
 			sm.l1.Fill(a, sector)

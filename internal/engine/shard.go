@@ -86,7 +86,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -429,9 +429,14 @@ func (sh *sharder) run() error {
 // assigned slots: its creating call sits earlier in the same lane's
 // list, so it has always been assigned by the time a child is at the
 // merge head. Calls that already executed in-window (local) only
-// consume the counter; the rest are pushed with their serial seq.
-// Buffered profiler emissions tagged with provisional seqs are
-// rewritten to the assigned values before the lists reset.
+// consume the counter; the rest accumulate in a per-lane presized batch
+// that one (at, seq) sort and bulk load hand to the queue after the
+// merge — instead of a per-event push stream. Sorting never reorders
+// equal keys (the assigned seqs are unique), so the queue contents are
+// identical to per-event pushes; the batch just reaches each calendar
+// bucket in cycle order. Buffered profiler emissions tagged with
+// provisional seqs are rewritten to the assigned values before the
+// lists reset.
 func (sh *sharder) mergePending() {
 	ix := sh.mergeIx
 	for i := range ix {
@@ -442,6 +447,9 @@ func (sh *sharder) mergePending() {
 			l.assigned = make([]uint64, len(l.pending))
 		}
 		l.assigned = l.assigned[:len(l.pending)]
+		if cap(l.batch) < len(l.pending) {
+			l.batch = make([]event, 0, len(l.pending))
+		}
 	}
 	for {
 		best := -1
@@ -468,11 +476,28 @@ func (sh *sharder) mergePending() {
 		sh.seq++
 		l.assigned[ix[best]] = sh.seq
 		if !p.local {
-			l.q.scheduleSeq(p.at, sh.seq, p.warp)
+			l.batch = append(l.batch, event{at: p.at, seq: sh.seq, warp: p.warp})
 		}
 		ix[best]++
 	}
 	for _, l := range sh.lanes {
+		if len(l.batch) > 0 {
+			slices.SortFunc(l.batch, func(a, b event) int {
+				if a.at != b.at {
+					if a.at < b.at {
+						return -1
+					}
+					return 1
+				}
+				if a.seq < b.seq {
+					return -1
+				}
+				return 1
+			})
+			l.q.scheduleBatch(l.batch)
+			clear(l.batch) // drop warp pointers before parking the scratch
+			l.batch = l.batch[:0]
+		}
 		for j := l.bufMark; j < len(l.buf); j++ {
 			if e := &l.buf[j]; e.seq >= provBase {
 				e.seq = l.assigned[e.seq-provBase]
@@ -505,15 +530,20 @@ func (sh *sharder) flushProf() {
 	for _, l := range sh.lanes {
 		all = append(all, l.buf...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := &all[i], &all[j]
+	slices.SortFunc(all, func(a, b taggedEvent) int {
 		if a.at != b.at {
-			return a.at < b.at
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
 		if a.seq != b.seq {
-			return a.seq < b.seq
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
 		}
-		return a.idx < b.idx
+		return int(a.idx) - int(b.idx)
 	})
 	for i := range all {
 		sh.s.prof.Emit(all[i].ev)

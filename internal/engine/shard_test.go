@@ -11,6 +11,7 @@ package engine_test
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"ctacluster/internal/arch"
@@ -215,31 +216,52 @@ func TestShardsClamped(t *testing.T) {
 }
 
 // BenchmarkRunSharded measures single-run scaling of MM on TeslaK40
-// across shard counts and epoch windows — the tentpole's headline
-// benchmark. quantum=1 is the barrier-per-timestamp schedule, quantum=0
-// the auto-derived K-cycle window (90 cycles on TeslaK40). Run with
-// `make bench` (or `go test -bench RunSharded ./internal/engine`);
-// DESIGN.md §9 records the measured curves and their limiters, and
-// BENCH_shard.json the trajectory.
+// across shard counts, epoch windows and scheduler parallelism — the
+// headline benchmark of both sharding PRs and the allocation diet.
+// quantum=1 is the barrier-per-timestamp schedule, quantum=0 the
+// auto-derived K-cycle window (90 cycles on TeslaK40). The cores axis
+// pins GOMAXPROCS for the sub-benchmark: cores=1 is the pure
+// coordination-overhead curve (every lane timesliced on one scheduler
+// thread), cores=4 lets the lanes actually run in parallel — on a
+// machine with four or more hardware threads that is where shards>1
+// first beats the serial loop. Run with `make bench` (or
+// `go test -bench RunSharded ./internal/engine`); DESIGN.md §9/§11
+// record the measured curves and their limiters, and BENCH_shard.json
+// the trajectory.
 func BenchmarkRunSharded(b *testing.B) {
 	app, err := workloads.New("MM")
 	if err != nil {
 		b.Fatal(err)
 	}
 	ar := arch.TeslaK40()
+	type cell struct {
+		cores, shards int
+		quantum       int64
+	}
+	var cells []cell
 	for _, n := range []int{1, 2, 4, 8} {
 		for _, q := range []int64{1, 0} {
-			b.Run(fmt.Sprintf("shards=%d/quantum=%d", n, q), func(b *testing.B) {
-				cfg := engine.DefaultConfig(ar)
-				cfg.Shards = n
-				cfg.EpochQuantum = q
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := engine.Run(cfg, app); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
+			cells = append(cells, cell{1, n, q})
 		}
+	}
+	// The multi-core curve only at the auto quantum: quantum=1's
+	// barrier-per-timestamp schedule is the known coordination
+	// pathology; parallel hardware doesn't change its verdict.
+	for _, n := range []int{1, 2, 4, 8} {
+		cells = append(cells, cell{4, n, 0})
+	}
+	for _, c := range cells {
+		b.Run(fmt.Sprintf("cores=%d/shards=%d/quantum=%d", c.cores, c.shards, c.quantum), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(c.cores))
+			cfg := engine.DefaultConfig(ar)
+			cfg.Shards = c.shards
+			cfg.EpochQuantum = c.quantum
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg, app); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

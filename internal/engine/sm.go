@@ -15,6 +15,31 @@ const (
 	dispatchLatency = 12
 )
 
+// newCTA carves one ctaState out of the run's slab; the slab is presized
+// to the grid's CTA count, so the append never reallocates and the
+// returned address is stable for the run. The capacity guard keeps a
+// kernel that dispatches more CTAs than its declared grid (impossible
+// today) correct rather than corrupting live pointers.
+func (s *sim) newCTA() *ctaState {
+	if len(s.ctaSlab) == cap(s.ctaSlab) {
+		return &ctaState{}
+	}
+	s.ctaSlab = append(s.ctaSlab, ctaState{})
+	return &s.ctaSlab[len(s.ctaSlab)-1]
+}
+
+// newWarp carves one warpState out of the run's slab under the same
+// stability contract as newCTA.
+func (s *sim) newWarp(w warpState) *warpState {
+	if len(s.warpSlab) == cap(s.warpSlab) {
+		p := new(warpState)
+		*p = w
+		return p
+	}
+	s.warpSlab = append(s.warpSlab, w)
+	return &s.warpSlab[len(s.warpSlab)-1]
+}
+
 // buildOrder fixes the order the GigaThread engine consumes CTAs in.
 // Round-robin policies consume them in launch order; the random pattern
 // observed on GTX750Ti (and real applications) permutes within each
@@ -82,7 +107,8 @@ func (l *lane) dispatchTo(sm *smState, slot int, at int64) {
 	}
 	work := s.kern.Work(launch)
 
-	cta := &ctaState{sm: sm}
+	cta := s.newCTA()
+	cta.sm = sm
 	cta.rec = CTARecord{CTA: id, SM: sm.id, Slot: slot, Dispatched: at}
 	s.perSM[sm.id] = append(s.perSM[sm.id], id)
 	if s.prof != nil {
@@ -111,7 +137,7 @@ func (l *lane) dispatchTo(sm *smState, slot int, at int64) {
 	cta.warps = make([]*warpState, len(work.Warps))
 	cta.live = len(work.Warps)
 	for i, ops := range work.Warps {
-		w := &warpState{cta: cta, id: i, ops: ops}
+		w := s.newWarp(warpState{cta: cta, id: i, ops: ops})
 		cta.warps[i] = w
 		l.schedule(at+dispatchLatency, w)
 	}

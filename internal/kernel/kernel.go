@@ -14,7 +14,7 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ctacluster/internal/arch"
 )
@@ -168,6 +168,16 @@ func (m MemOp) LaneAddrs() []uint64 {
 // load-store unit coalescer performs before the request reaches L1. The
 // result is sorted and deduplicated.
 func (m MemOp) Transactions(segBytes int) []uint64 {
+	return m.AppendTransactions(nil, segBytes)
+}
+
+// AppendTransactions is Transactions for hot paths: it appends the
+// sorted, deduplicated segment bases to dst and returns the extended
+// slice, allocating only when dst lacks capacity. A caller reusing one
+// scratch buffer per lane (the engine does) coalesces with zero
+// steady-state allocations. The output bytes are identical to
+// Transactions — the simulator's determinism contract rides on that.
+func (m MemOp) AppendTransactions(dst []uint64, segBytes int) []uint64 {
 	if segBytes <= 0 {
 		panic("kernel: non-positive segment size")
 	}
@@ -176,20 +186,41 @@ func (m MemOp) Transactions(segBytes int) []uint64 {
 		size = 4
 	}
 	seg := uint64(segBytes)
-	set := make(map[uint64]struct{}, 4)
-	for _, a := range m.LaneAddrs() {
+	start := len(dst)
+	appendSegs := func(a uint64) []uint64 {
 		first := a / seg
 		last := (a + uint64(size) - 1) / seg
 		for s := first; s <= last; s++ {
-			set[s*seg] = struct{}{}
+			dst = append(dst, s*seg)
+		}
+		return dst
+	}
+	if m.Addrs != nil {
+		for _, a := range m.Addrs {
+			dst = appendSegs(a)
+		}
+	} else {
+		lanes := m.Lanes
+		if lanes <= 0 {
+			lanes = 1
+		}
+		for i := 0; i < lanes; i++ {
+			dst = appendSegs(m.Base + uint64(int64(i)*m.Stride))
 		}
 	}
-	out := make([]uint64, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+	// Sort and compact in place. The candidate set is tiny (<= 32 lanes,
+	// a few segments each) and often already sorted, which pdqsort's
+	// ascending-run detection makes near-free.
+	sub := dst[start:]
+	slices.Sort(sub)
+	j := 0
+	for i := range sub {
+		if i == 0 || sub[i] != sub[j-1] {
+			sub[j] = sub[i]
+			j++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dst[:start+j]
 }
 
 // Launch carries the runtime context a CTA observes when it is placed on

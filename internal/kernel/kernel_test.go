@@ -156,6 +156,64 @@ func TestTransactionsSortedUniqueProperty(t *testing.T) {
 	}
 }
 
+// TestAppendTransactionsEquivalence pins the hot-path variant to the
+// allocating one: for random regular and irregular accesses, appending
+// into a dirty scratch buffer must leave the prefix untouched and
+// produce exactly the bytes Transactions returns. The engine's
+// determinism contract rides on this equivalence — every coalescing
+// site now goes through AppendTransactions with a reused buffer.
+func TestAppendTransactionsEquivalence(t *testing.T) {
+	f := func(base uint64, stride int16, lanes uint8, size uint8, seg uint8, irregular bool) bool {
+		segBytes := 32 << (seg % 3) // 32, 64, 128
+		m := MemOp{
+			Base:   base % (1 << 40),
+			Stride: int64(stride),
+			Lanes:  int(lanes%32) + 1,
+			Size:   int(size%16) + 1,
+		}
+		if irregular {
+			m.Addrs = m.LaneAddrs() // explicit per-lane path, same addresses
+		}
+		want := m.Transactions(segBytes)
+		prefix := []uint64{0xdead, 0xbeef, 0xcafe}
+		dst := append(append([]uint64(nil), prefix...), 7, 7, 7)[:len(prefix)]
+		got := m.AppendTransactions(dst, segBytes)
+		if len(got) != len(prefix)+len(want) {
+			return false
+		}
+		for i, p := range prefix {
+			if got[i] != p {
+				return false // the dirty prefix must survive
+			}
+		}
+		for i, a := range want {
+			if got[len(prefix)+i] != a {
+				return false
+			}
+		}
+		// And the nil-dst path is Transactions itself.
+		if again := m.AppendTransactions(nil, segBytes); len(again) != len(want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendTransactionsZeroAlloc pins the point of the variant: with a
+// warm scratch buffer, coalescing allocates nothing.
+func TestAppendTransactionsZeroAlloc(t *testing.T) {
+	m := MemOp{Base: 0x1000, Stride: 4, Lanes: 32, Size: 4}
+	buf := m.AppendTransactions(nil, 32) // warm to capacity
+	if n := testing.AllocsPerRun(100, func() {
+		buf = m.AppendTransactions(buf[:0], 32)
+	}); n != 0 {
+		t.Errorf("AppendTransactions with warm scratch allocates %.1f times per call, want 0", n)
+	}
+}
+
 func TestTransactionsPanicsOnBadSegment(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -134,7 +134,7 @@ func (k *Key) Arch(a *arch.Arch) *Key {
 
 // configFieldCount pins engine.Config coverage the same way: every
 // field is either encoded below or listed in configExecOnlyFields.
-const configFieldCount = 10
+const configFieldCount = 11
 
 // configExecOnlyFields are engine.Config fields that control how a run
 // executes without changing what it computes, and are therefore
@@ -147,9 +147,10 @@ const configFieldCount = 10
 // asserts the inverse property for each field here: perturbing it must
 // NOT change the key.
 var configExecOnlyFields = map[string]bool{
-	"Shards":       true,
-	"EpochQuantum": true,
-	"ShardStats":   true,
+	"Shards":        true,
+	"EpochQuantum":  true,
+	"ShardStats":    true,
+	"RefEventQueue": true, // queue implementations are byte-identical (queue_diff_test.go)
 }
 
 // Config appends every result-relevant field of the engine

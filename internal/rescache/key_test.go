@@ -59,6 +59,7 @@ func TestConfigKeyCoversEveryField(t *testing.T) {
 		"Shards":         func(c *engine.Config) { c.Shards = 7 },
 		"EpochQuantum":   func(c *engine.Config) { c.EpochQuantum = 17 },
 		"ShardStats":     func(c *engine.Config) { c.ShardStats = &engine.ShardStats{} },
+		"RefEventQueue":  func(c *engine.Config) { c.RefEventQueue = true },
 	}
 	typ := reflect.TypeOf(engine.Config{})
 	for i := 0; i < typ.NumField(); i++ {
