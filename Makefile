@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke docs-check
+.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke swizzle-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,15 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Short fuzz smoke of the partition bijection, the sharded-engine
-# quantum equivalence, the event-queue pop order and the disk-cache
-# entry codec; CI runs these bounded, `make fuzz FUZZTIME=10m` digs
-# deeper locally. (go test accepts one -fuzz pattern per run, so each
-# target is its own invocation.)
+# Short fuzz smoke of the partition bijection, the swizzle bijectivity,
+# the sharded-engine quantum equivalence, the event-queue pop order and
+# the disk-cache entry codec; CI runs these bounded, `make fuzz
+# FUZZTIME=10m` digs deeper locally. (go test accepts one -fuzz pattern
+# per run, so each target is its own invocation.)
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzSwizzleBijective -fuzztime=$(FUZZTIME) ./internal/swizzle
 	$(GO) test -run='^$$' -fuzz=FuzzEpochQuantum -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueueOrder -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheEntry -fuzztime=$(FUZZTIME) ./internal/rescache
@@ -56,7 +57,7 @@ bench-smoke:
 # Pipe two runs through `benchstat` locally if you want significance
 # on the ns/op column; the alloc columns are deterministic.
 bench-alloc:
-	$(GO) test -run='TestAllocationBudgets|TestEventQueueSchedulePopZeroAlloc|TestAppendTransactionsZeroAlloc' -count=1 -v ./internal/engine ./internal/kernel | grep -v '^=== RUN'
+	$(GO) test -run='TestAllocationBudgets|TestEventQueueSchedulePopZeroAlloc|TestAppendTransactionsZeroAlloc|TestAnalyzerZeroAlloc|TestAnalyzerAllocationBudgets' -count=1 -v ./internal/engine ./internal/kernel ./internal/swizzle | grep -v '^=== RUN'
 	$(GO) test -run='^$$' -bench='BenchmarkRunSharded/cores=1/shards=1' -benchtime=3x -benchmem ./internal/engine
 
 # The daemon gate the CI enforces: the ctad end-to-end suite (cold/warm
@@ -75,6 +76,16 @@ server:
 fleet-smoke:
 	$(GO) test -race ./internal/fleet ./internal/rescache ./internal/cli
 	$(GO) test -race -run 'DiskCache' ./internal/server
+
+# The swizzle gate the CI enforces: the transform-family unit wall
+# (conservation, fuzz-seeded bijectivity, analyzer goldens, zero-alloc
+# contract), the swizzled serial≡sharded byte-identity sweep, and a
+# 2-app x 2-arch three-way clustering-vs-swizzling-vs-both comparison
+# smoke through the real evaluate binary, all under the race detector.
+swizzle-smoke:
+	$(GO) test -race ./internal/swizzle ./internal/eval -run 'Swizzle'
+	$(GO) run -race ./cmd/evaluate -swizzle-compare -apps MM,SGM -arch TeslaK40 -quick > /dev/null
+	$(GO) run -race ./cmd/evaluate -swizzle-compare -apps MM,SGM -arch GTX980 -quick -json > /dev/null
 
 # The docs gate the CI enforces: every internal/* and cmd/* package must
 # carry a package-level doc comment, and every flag that README.md or

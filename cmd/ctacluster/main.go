@@ -11,6 +11,7 @@
 //	ctacluster -all -parallel 8
 //	ctacluster -app MM -shards 4
 //	ctacluster -app MM -shards 4 -quantum 1
+//	ctacluster -app MM -swizzle xor
 //	ctacluster -list
 //
 // Unknown -app or -arch names exit non-zero with the known names on
@@ -21,7 +22,10 @@
 // runs included — (engine.Config.Shards) and -quantum sets the sharded
 // engine's barrier window in cycles (engine.Config.EpochQuantum;
 // 0 = auto-derive); all reported metrics are byte-identical to the
-// serial engine's at every setting.
+// serial engine's at every setting. -swizzle applies a CTA tile swizzle
+// (internal/swizzle) under the analysis and both reported runs — the
+// framework then categorizes and transforms the swizzled rasterization;
+// unlike the execution knobs it changes the measured results.
 package main
 
 import (
@@ -34,7 +38,9 @@ import (
 	"ctacluster/internal/cli"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/eval"
+	"ctacluster/internal/kernel"
 	"ctacluster/internal/locality"
+	"ctacluster/internal/swizzle"
 	"ctacluster/internal/workloads"
 )
 
@@ -46,6 +52,7 @@ func main() {
 	list := flag.Bool("list", false, "list available applications")
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
 	execFlags := cli.RegisterSweepFlags()
+	swizzleFlag := cli.RegisterSwizzleFlag()
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
 
@@ -54,9 +61,16 @@ func main() {
 		log.Fatal(err)
 	}
 	shards, quantum := exec.Shards, exec.Quantum
+	swz, err := cli.Swizzle(*swizzleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *jsonOut && (*all || *list) {
 		log.Fatal("-json applies to the single-app analysis (-app); -all and -list have no JSON form")
+	}
+	if swz != "" && *all {
+		log.Fatal("-swizzle applies to the single-app analysis; -all scores categorization against each app's native-rasterization ground truth")
 	}
 
 	if *all {
@@ -104,10 +118,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The swizzle wraps underneath the framework: analysis, transform
+	// and both reported runs all see the swizzled rasterization, so the
+	// before/after comparison isolates what clustering adds on top.
+	var k kernel.Kernel = app
+	if swz != "" {
+		if k, err = swizzle.Wrap(swz, app); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if !*jsonOut {
 		fmt.Printf("framework: analyzing %s (%s) on %s...\n", app.Name(), app.LongName(), ar.Name)
 	}
-	plan, err := locality.OptimizeExec(app, ar, locality.Exec{Shards: shards, EpochQuantum: quantum})
+	plan, err := locality.OptimizeExec(k, ar, locality.Exec{Shards: shards, EpochQuantum: quantum})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,7 +139,7 @@ func main() {
 	runCfg.Shards = shards
 	runCfg.EpochQuantum = quantum
 	if *jsonOut {
-		base, err := engine.Run(runCfg, app)
+		base, err := engine.Run(runCfg, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -139,7 +163,7 @@ func main() {
 	fmt.Printf("  estimated category:     %s (ground truth: %s)\n", a.Category, app.Category())
 	fmt.Printf("  decision:               %s\n\n", plan.Description)
 
-	base, err := engine.Run(runCfg, app)
+	base, err := engine.Run(runCfg, k)
 	if err != nil {
 		log.Fatal(err)
 	}

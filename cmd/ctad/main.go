@@ -13,13 +13,18 @@
 //	ctad -shards 4 -quantum 1     # sharded, barrier every timestamp
 //	ctad -cache-mb 256            # larger result cache
 //	ctad -cache-dir /var/ctad     # persistent result cache (survives restarts)
+//	ctad -swizzle xor             # default CTA tile swizzle for every request
 //
 // -shards sets the default engine.Config.Shards for every simulation
 // the daemon runs (simulate requests may override it per request),
 // trading per-request latency against throughput; -quantum sets the
 // default sharded barrier window in cycles (engine.Config.EpochQuantum;
 // 0 = auto-derive, also overridable per simulate request); results and
-// cache keys are identical at every setting.
+// cache keys are identical at every setting. -swizzle sets the default
+// CTA tile swizzle (internal/swizzle) applied to every kernel the
+// daemon simulates (requests carrying their own swizzle field override
+// it); unlike the execution knobs it is result-affecting, so the
+// resolved value is a full cache-key field.
 //
 // -cache-dir adds a durable content-addressed tier under the in-memory
 // LRU: every computed response is written atomically (tmp + fsync +
@@ -30,7 +35,7 @@
 // (DESIGN.md §10).
 //
 // Endpoints: POST /v1/simulate, /v1/sweep, /v1/optimize; GET /v1/table1,
-// /v1/table2, /healthz, /metrics. See README "Serving" for a curl
+// /v1/table2, /v1/transforms, /healthz, /metrics. See README "Serving" for a curl
 // walkthrough. SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Paper mapping: the endpoints expose the Section 5 evaluation and the
@@ -62,6 +67,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "result cache size in MiB")
 	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
 	cacheDir := cli.RegisterCacheDirFlag()
+	swizzleFlag := cli.RegisterSwizzleFlag()
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Minute, "clamp on client-requested deadlines")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain period for in-flight requests")
@@ -72,12 +78,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	swz, err := cli.Swizzle(*swizzleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxQueue:       *maxQueue,
 		Parallelism:    exec.Parallelism,
 		Shards:         exec.Shards,
 		EpochQuantum:   exec.Quantum,
+		Swizzle:        swz,
 		CacheBytes:     *cacheMB << 20,
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,

@@ -14,13 +14,16 @@
 //	ctaprof -app mm -arch teslak40 -events all      # every event class
 //	ctaprof -app mm -arch teslak40 -o /tmp/prof -interval 1024
 //	ctaprof -app mm -arch teslak40 -shards 4        # sharded engine, same bytes
+//	ctaprof -app mm -arch teslak40 -swizzle xor     # profile the swizzled kernel
 //
 // App and platform names match case-insensitively; unknown names are an
 // error (non-zero exit), never a silent skip. -shards parallelizes the
 // simulation itself (engine.Config.Shards) and -quantum sets the
 // sharded engine's barrier window in cycles (engine.Config.EpochQuantum;
 // 0 = auto-derive); the recorded trace and metrics are byte-identical
-// to the serial engine's at every setting.
+// to the serial engine's at every setting. -swizzle applies a CTA tile
+// swizzle (internal/swizzle) under the chosen scheme; unlike the
+// execution knobs it changes the recorded trace and metrics.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"ctacluster/internal/engine"
 	"ctacluster/internal/kernel"
 	"ctacluster/internal/prof"
+	"ctacluster/internal/swizzle"
 )
 
 func main() {
@@ -51,6 +55,7 @@ func main() {
 	interval := flag.Int64("interval", 4096, "counter-snapshot period in cycles (0 = off)")
 	outDir := flag.String("o", ".", "output directory for the trace and metrics files")
 	execFlags := cli.RegisterEngineFlags()
+	swizzleFlag := cli.RegisterSwizzleFlag()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -66,18 +71,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	swz, err := cli.Swizzle(*swizzleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The swizzle wraps underneath the scheme, mirroring the evaluation:
+	// BSL profiles the pure swizzled kernel, RD/CLU the transform over it.
 	var k kernel.Kernel = app
+	if swz != "" {
+		if k, err = swizzle.Wrap(swz, app); err != nil {
+			log.Fatal(err)
+		}
+	}
 	label := strings.ToUpper(*scheme)
 	switch label {
 	case "BSL":
 	case "RD":
-		rd, err := core.Redirect(app, ar.SMs, app.Partition(), nil)
+		rd, err := core.Redirect(k, ar.SMs, app.Partition(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		k = rd
 	case "CLU":
-		ag, err := core.NewAgent(app, core.AgentConfig{
+		ag, err := core.NewAgent(k, core.AgentConfig{
 			Arch: ar, Indexing: app.Partition(), ActiveAgents: *agents,
 			Bypass: *bypass, Prefetch: *prefetch,
 		})

@@ -12,11 +12,14 @@
 //	ctatrace -app ATX -arch GTX570 -clustered # agent-based clustering
 //	ctatrace -app ATX -arch GTX570 -sm 0      # one SM's timeline
 //	ctatrace -app ATX -arch GTX570 -shards 4  # sharded engine, same trace
+//	ctatrace -app ATX -arch GTX570 -swizzle xor # trace the swizzled placement
 //
 // -shards parallelizes the simulation itself (engine.Config.Shards) and
 // -quantum sets the sharded engine's barrier window in cycles
 // (engine.Config.EpochQuantum; 0 = auto-derive); the printed trace is
-// byte-identical to the serial engine's at every setting.
+// byte-identical to the serial engine's at every setting. -swizzle
+// applies a CTA tile swizzle (internal/swizzle) under the traced kernel
+// — baseline or clustered — and changes the placement it prints.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"ctacluster/internal/core"
 	"ctacluster/internal/engine"
 	"ctacluster/internal/kernel"
+	"ctacluster/internal/swizzle"
 )
 
 func main() {
@@ -39,6 +43,7 @@ func main() {
 	agents := flag.Int("agents", 0, "active agents per SM when -clustered (0 = max)")
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
 	execFlags := cli.RegisterEngineFlags()
+	swizzleFlag := cli.RegisterSwizzleFlag()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
@@ -50,9 +55,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	swz, err := cli.Swizzle(*swizzleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The swizzle wraps underneath clustering, mirroring the evaluation.
 	var k kernel.Kernel = app
+	if swz != "" {
+		if k, err = swizzle.Wrap(swz, app); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *clustered {
-		ag, err := core.NewAgent(app, core.AgentConfig{
+		ag, err := core.NewAgent(k, core.AgentConfig{
 			Arch: ar, Indexing: app.Partition(), ActiveAgents: *agents,
 		})
 		if err != nil {

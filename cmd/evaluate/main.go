@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	evaluate                     # full sweep, all four GPUs, 23 apps
+//	evaluate                     # full sweep, all four GPUs, 24 apps
 //	evaluate -arch TeslaK40      # one platform
 //	evaluate -apps MM,KMN        # subset of applications
 //	evaluate -table1 -table2     # just the tables
@@ -13,6 +13,8 @@
 //	evaluate -parallel 8         # fan the sweep out over 8 workers
 //	evaluate -shards 4           # shard each simulation across 4 goroutines
 //	evaluate -shards 4 -quantum 1 # sharded, barrier every timestamp
+//	evaluate -swizzle xor        # CTA tile swizzle under every scheme
+//	evaluate -swizzle-compare    # clustering vs swizzling vs both
 //	evaluate -json               # machine-readable output (ctad schema)
 //
 // Unknown -arch or -apps names are an error (non-zero exit), never a
@@ -23,6 +25,14 @@
 // default 0 = auto-derive from the architecture's latency table);
 // results are byte-identical for every parallelism, shard and quantum
 // setting.
+//
+// -swizzle applies a CTA tile swizzle (internal/swizzle) to every
+// kernel before any clustering transform; unlike the execution knobs it
+// is result-affecting. -swizzle-compare runs the three-way
+// clustering-vs-swizzling-vs-both comparison per (app, arch) cell and
+// scores the L2 reuse analyzer's predicted-best swizzle against the
+// measured L2 read transactions; with -json it emits one
+// api.SwizzleCompareResponse document (the BENCH_swizzle.json schema).
 //
 // -json renders the internal/api response structs the ctad daemon
 // serves, so scripts can consume CLI and HTTP output with one decoder:
@@ -50,12 +60,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evaluate: ")
 	archName := flag.String("arch", "", "run a single platform")
-	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 23)")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 24)")
 	table1 := flag.Bool("table1", false, "print Table 1 (platforms) and exit")
 	table2 := flag.Bool("table2", false, "print Table 2 (benchmarks) and exit")
 	quick := flag.Bool("quick", false, "skip the throttle sweep (CLU+TOT = CLU)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	execFlags := cli.RegisterSweepFlags()
+	swizzleFlag := cli.RegisterSwizzleFlag()
+	swizzleCompare := flag.Bool("swizzle-compare", false, "run the clustering-vs-swizzling-vs-both comparison instead of the scheme sweep")
 	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
@@ -96,13 +108,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	swz, err := cli.Swizzle(*swizzleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	progress := func(string) {}
 	if *verbose {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "evaluate: %s\n", msg) }
 	}
 
-	opt := eval.Options{Quick: *quick, Parallelism: exec.Parallelism, Shards: exec.Shards, EpochQuantum: exec.Quantum}
+	opt := eval.Options{Quick: *quick, Parallelism: exec.Parallelism, Shards: exec.Shards, EpochQuantum: exec.Quantum, Swizzle: swz}
+
+	if *swizzleCompare {
+		if swz != "" {
+			log.Fatal("-swizzle-compare sweeps every swizzle itself; do not combine it with -swizzle")
+		}
+		comparisons, err := eval.CompareSwizzleMatrix(platforms, apps, opt, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			if err := api.Encode(os.Stdout, api.SwizzleCompareResponseFrom(comparisons)); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		for _, c := range comparisons {
+			fmt.Printf("%s on %s (window %d CTAs, %d-byte lines): predicted %s, measured %s",
+				c.App.Name(), c.Arch.Name, c.Window, c.LineBytes, c.PredictedBest, c.MeasuredBest)
+			if c.PredictionHit {
+				fmt.Printf("  [hit]\n")
+			} else {
+				fmt.Printf("  [miss]\n")
+			}
+			for _, cell := range c.Cells {
+				pred := ""
+				if cell.Predicted != nil {
+					pred = fmt.Sprintf("  predicted fetches %d, shared %.2f", cell.Predicted.Fetches, cell.Predicted.SharedFraction())
+				}
+				fmt.Printf("  %-18s %8d cycles  %.2fx  L2 txn %8d (%+.1f%%)  L1 hit %.2f%s\n",
+					cell.Label, cell.Cycles, cell.Speedup, cell.L2Txn, 100*cell.L2Delta, cell.L1Hit, pred)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
 	sweep, err := eval.EvaluateAll(platforms, apps, opt, progress)
 	if err != nil {
 		log.Fatal(err)

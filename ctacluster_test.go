@@ -29,8 +29,8 @@ func TestBenchmarkLookup(t *testing.T) {
 	if _, err := ctacluster.Benchmark("XYZ"); err == nil {
 		t.Error("unknown benchmark should fail")
 	}
-	if got := len(ctacluster.Benchmarks()); got != 23 {
-		t.Errorf("benchmarks = %d, want 23", got)
+	if got := len(ctacluster.Benchmarks()); got != 24 {
+		t.Errorf("benchmarks = %d, want 24", got)
 	}
 }
 

@@ -42,6 +42,13 @@ type SimulateRequest struct {
 	// Shards: results, cache keys and response bytes are identical at
 	// every setting. Ignored unless the run is sharded.
 	EpochQuantum int64 `json:"epoch_quantum,omitempty"`
+	// Swizzle names a CTA tile swizzle (internal/swizzle, GET
+	// /v1/transforms lists the names) applied to the application before
+	// any scheme transform. UNLIKE Shards/EpochQuantum it is
+	// result-affecting — the remap changes every cache statistic and
+	// cycle count — so it is a full cache-key field. Empty means the
+	// daemon's configured default (normally none).
+	Swizzle string `json:"swizzle,omitempty"`
 }
 
 // MetricRow is one nvprof-style counter (internal/prof names).
@@ -56,6 +63,7 @@ type SimulateResponse struct {
 	App                string      `json:"app"`
 	Arch               string      `json:"arch"`
 	Scheme             string      `json:"scheme"`
+	Swizzle            string      `json:"swizzle,omitempty"`
 	Kernel             string      `json:"kernel"`
 	Cycles             int64       `json:"cycles"`
 	L1HitRate          float64     `json:"l1_hit_rate"`
@@ -75,6 +83,9 @@ type SweepRequest struct {
 	Quick     bool     `json:"quick,omitempty"`
 	Seed      int64    `json:"seed,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	// Swizzle applies the named CTA tile swizzle under every scheme of
+	// the sweep (result-affecting, part of the sweep cache key).
+	Swizzle string `json:"swizzle,omitempty"`
 }
 
 // SweepCell is one scheme's outcome for one app (eval.Cell).
@@ -242,4 +253,63 @@ type QueueStats struct {
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// TransformsResponse is the GET /v1/transforms payload: the transform
+// vocabulary a client can put in requests — scheme labels (the paper's
+// clustering transforms plus baselines) and CTA tile swizzle names
+// (internal/swizzle) — each sorted.
+type TransformsResponse struct {
+	Schemes  []string `json:"schemes"`
+	Swizzles []string `json:"swizzles"`
+}
+
+// SwizzleCellResult is one mode of the clustering-vs-swizzling-vs-both
+// comparison on one (app, arch): its measured outcome next to the L2
+// reuse analyzer's windowed prediction for the same kernel.
+type SwizzleCellResult struct {
+	// Label identifies the mode: "BSL", "SWZ(<name>)", "CLU" or
+	// "CLU+SWZ(<name>)".
+	Label string `json:"label"`
+	// Swizzle is the swizzle name applied in this mode ("" for none).
+	Swizzle string `json:"swizzle,omitempty"`
+	// PredictedFetches / PredictedShared are the analyzer's
+	// window-compulsory L2 fetch count and cross-CTA shared-line
+	// fraction for the exact kernel this mode simulates (absent for
+	// clustered modes, whose placement-dependent traces the windowed
+	// analyzer does not model).
+	PredictedFetches uint64  `json:"predicted_fetches,omitempty"`
+	PredictedShared  float64 `json:"predicted_shared,omitempty"`
+	Cycles           int64   `json:"cycles"`
+	Speedup          float64 `json:"speedup"`
+	L2ReadTxn        uint64  `json:"l2_read_txn"`
+	// L2Delta is the measured L2-read-transaction change vs the BSL
+	// cell (negative = fewer transactions).
+	L2Delta   float64 `json:"l2_delta"`
+	L1HitRate float64 `json:"l1_hit_rate"`
+}
+
+// SwizzleComparison is the full three-way comparison for one
+// (app, arch) cell of the matrix.
+type SwizzleComparison struct {
+	App  string `json:"app"`
+	Arch string `json:"arch"`
+	// Window and LineBytes echo the analyzer's occupancy-derived
+	// co-residency window and line granularity.
+	Window    int                 `json:"window"`
+	LineBytes int                 `json:"line_bytes"`
+	Cells     []SwizzleCellResult `json:"cells"`
+	// PredictedBest / MeasuredBest name the swizzle the analyzer ranked
+	// first (fewest predicted fetches) and the one with the fewest
+	// measured L2 read transactions; PredictionHit is their agreement —
+	// the analyzer's score against internal/prof ground truth.
+	PredictedBest string `json:"predicted_best"`
+	MeasuredBest  string `json:"measured_best"`
+	PredictionHit bool   `json:"prediction_hit"`
+}
+
+// SwizzleCompareResponse is the matrix `evaluate -swizzle-compare`
+// emits (BENCH_swizzle.json), arch-major in request order.
+type SwizzleCompareResponse struct {
+	Comparisons []SwizzleComparison `json:"comparisons"`
 }

@@ -10,11 +10,14 @@ import (
 )
 
 // SimulateResponseFrom renders one engine run as the shared schema.
-func SimulateResponseFrom(app, archName, scheme string, res *engine.Result) SimulateResponse {
+// swizzle is the canonical CTA tile swizzle name applied under the
+// scheme ("" = none).
+func SimulateResponseFrom(app, archName, scheme, swizzle string, res *engine.Result) SimulateResponse {
 	out := SimulateResponse{
 		App:                app,
 		Arch:               archName,
 		Scheme:             scheme,
+		Swizzle:            swizzle,
 		Kernel:             res.Kernel,
 		Cycles:             res.Cycles,
 		L1HitRate:          res.L1.HitRate(),
@@ -111,6 +114,41 @@ func runSummary(r *engine.Result) RunSummary {
 		L1HitRate:          r.L1.HitRate(),
 		L2ReadTransactions: r.L2ReadTransactions(),
 	}
+}
+
+// SwizzleCompareResponseFrom converts the clustering-vs-swizzling-vs-
+// both matrix into the BENCH_swizzle.json schema.
+func SwizzleCompareResponseFrom(comparisons []*eval.SwizzleComparison) SwizzleCompareResponse {
+	out := SwizzleCompareResponse{Comparisons: make([]SwizzleComparison, 0, len(comparisons))}
+	for _, c := range comparisons {
+		sc := SwizzleComparison{
+			App:           c.App.Name(),
+			Arch:          c.Arch.Name,
+			Window:        c.Window,
+			LineBytes:     c.LineBytes,
+			PredictedBest: c.PredictedBest,
+			MeasuredBest:  c.MeasuredBest,
+			PredictionHit: c.PredictionHit,
+		}
+		for _, cell := range c.Cells {
+			r := SwizzleCellResult{
+				Label:     cell.Label,
+				Swizzle:   cell.Swizzle,
+				Cycles:    cell.Cycles,
+				Speedup:   cell.Speedup,
+				L2ReadTxn: cell.L2Txn,
+				L2Delta:   cell.L2Delta,
+				L1HitRate: cell.L1Hit,
+			}
+			if cell.Predicted != nil {
+				r.PredictedFetches = cell.Predicted.Fetches
+				r.PredictedShared = cell.Predicted.SharedFraction()
+			}
+			sc.Cells = append(sc.Cells, r)
+		}
+		out.Comparisons = append(out.Comparisons, sc)
+	}
+	return out
 }
 
 // TableResponseFrom converts a report table.

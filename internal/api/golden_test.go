@@ -61,7 +61,7 @@ func TestGoldenSimulateResponse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, "BSL", res))
+	b, err := api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, "BSL", "", res))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestMarshalDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, "BSL", res))
+		b, err := api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, "BSL", "", res))
 		if err != nil {
 			t.Fatal(err)
 		}

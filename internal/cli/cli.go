@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ctacluster/internal/arch"
+	"ctacluster/internal/swizzle"
 	"ctacluster/internal/workloads"
 )
 
@@ -81,6 +82,23 @@ func App(name string) (*workloads.App, error) {
 		}
 	}
 	return nil, fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
+}
+
+// Swizzle resolves the -swizzle flag: the empty value means no swizzle
+// and passes through; anything else must name a registered swizzle
+// variant, matched case-insensitively ("XOR" resolves xor) and returned
+// in canonical form. Unknown names fail with the sorted known list,
+// matching the unknown-app/-platform behavior above.
+func Swizzle(name string) (string, error) {
+	if strings.TrimSpace(name) == "" {
+		return "", nil
+	}
+	for _, n := range swizzle.Names() {
+		if strings.EqualFold(n, name) {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("unknown swizzle %q (known: %s)", name, strings.Join(swizzle.Names(), ", "))
 }
 
 // Parallelism resolves the -parallel flag: 0 means one worker per

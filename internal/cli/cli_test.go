@@ -108,8 +108,8 @@ func TestApps(t *testing.T) {
 				t.Fatalf("Apps(%q): %v", tt.arg, err)
 			}
 			if tt.arg == "" {
-				if len(got) != 23 {
-					t.Fatalf("Apps(\"\") = %d apps, want the 23 of Table 2", len(got))
+				if len(got) != 24 {
+					t.Fatalf("Apps(\"\") = %d apps, want the 24 of Table 2", len(got))
 				}
 				return
 			}
@@ -148,6 +148,36 @@ func TestApp(t *testing.T) {
 		if a.Name() != "MM" {
 			t.Fatalf("App(%q).Name = %s, want MM", alias, a.Name())
 		}
+	}
+}
+
+func TestSwizzle(t *testing.T) {
+	// Empty (and all-whitespace) means no swizzle, not an error.
+	for _, empty := range []string{"", "  ", "\t"} {
+		got, err := Swizzle(empty)
+		if err != nil || got != "" {
+			t.Fatalf("Swizzle(%q) = %q, %v, want \"\", nil", empty, got, err)
+		}
+	}
+	// Case-insensitive resolution returns the canonical lower-case name.
+	for _, alias := range []string{"xor", "XOR", "Xor"} {
+		got, err := Swizzle(alias)
+		if err != nil {
+			t.Fatalf("Swizzle(%q): %v", alias, err)
+		}
+		if got != "xor" {
+			t.Fatalf("Swizzle(%q) = %q, want xor", alias, got)
+		}
+	}
+	// Unknown names list every variant in sorted order, matching the
+	// unknown-app/-platform error shape.
+	_, err := Swizzle("bogus")
+	if err == nil {
+		t.Fatal("Swizzle(bogus) succeeded")
+	}
+	const want = `unknown swizzle "bogus" (known: groupcol, hilbert, identity, xor)`
+	if err.Error() != want {
+		t.Fatalf("Swizzle(bogus) error = %q, want %q", err, want)
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+
+	"ctacluster/internal/swizzle"
 )
 
 // Exec bundles the resolved execution knobs shared by the CLIs. All
@@ -75,6 +77,15 @@ func (f *ExecFlags) Resolve() (Exec, error) {
 		return Exec{}, err
 	}
 	return e, nil
+}
+
+// RegisterSwizzleFlag registers -swizzle, the CTA tile swizzle
+// (internal/swizzle) applied to every kernel before any clustering
+// transform. Unlike the Exec knobs it is result-affecting — the remap
+// changes cache statistics and cycle counts — so its value enters
+// result-cache keys. Resolve the parsed value with Swizzle.
+func RegisterSwizzleFlag() *string {
+	return flag.String("swizzle", "", "CTA tile swizzle applied before any transform: "+strings.Join(swizzle.Names(), ", ")+" (empty = none)")
 }
 
 // RegisterCacheDirFlag registers -cache-dir, the persistent

@@ -239,14 +239,14 @@ func TestQuantumBarrierReduction(t *testing.T) {
 func TestQuantumRescacheKeyInvariant(t *testing.T) {
 	for _, ar := range arch.All() {
 		base := engine.DefaultConfig(ar)
-		want := rescache.ConfigKey("MM/BSL", base)
+		want := rescache.ConfigKey("MM/BSL", "", base)
 		for _, n := range []int{1, 4} {
 			for _, q := range quantumSettings(ar) {
 				cfg := base
 				cfg.Shards = n
 				cfg.EpochQuantum = q
 				cfg.ShardStats = &engine.ShardStats{}
-				if got := rescache.ConfigKey("MM/BSL", cfg); got != want {
+				if got := rescache.ConfigKey("MM/BSL", "", cfg); got != want {
 					t.Errorf("%s: rescache key changed with Shards=%d EpochQuantum=%d:\n got %s\nwant %s",
 						ar.Name, n, q, got, want)
 				}

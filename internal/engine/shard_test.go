@@ -104,11 +104,11 @@ func TestShardedMatchesSerial(t *testing.T) {
 func TestShardedRescacheKeyInvariant(t *testing.T) {
 	for _, ar := range arch.All() {
 		base := engine.DefaultConfig(ar)
-		want := rescache.ConfigKey("MM/BSL", base)
+		want := rescache.ConfigKey("MM/BSL", "", base)
 		for _, n := range append([]int{1}, shardCounts...) {
 			cfg := base
 			cfg.Shards = n
-			if got := rescache.ConfigKey("MM/BSL", cfg); got != want {
+			if got := rescache.ConfigKey("MM/BSL", "", cfg); got != want {
 				t.Errorf("%s: rescache key changed with Shards=%d:\n got %s\nwant %s", ar.Name, n, got, want)
 			}
 		}

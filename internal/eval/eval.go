@@ -15,6 +15,7 @@ import (
 	"ctacluster/internal/engine"
 	"ctacluster/internal/kernel"
 	"ctacluster/internal/prof"
+	"ctacluster/internal/swizzle"
 	"ctacluster/internal/workloads"
 )
 
@@ -169,6 +170,13 @@ type Options struct {
 	// every timestamp). Execution-only like Shards — results are
 	// byte-identical at every setting. Ignored when Shards <= 1.
 	EpochQuantum int64
+	// Swizzle, when non-empty, applies the named CTA tile swizzle
+	// (internal/swizzle) to every application before any scheme
+	// transform, so the whole matrix — including the clustered schemes —
+	// evaluates the swizzled rasterization. UNLIKE the knobs above it is
+	// result-affecting: cycle counts and cache statistics change with
+	// the remap, which is why it is part of every result-cache key.
+	Swizzle string
 }
 
 // context returns the run context, defaulting to Background.
@@ -198,6 +206,19 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 	}
 	cfg.Shards = opt.Shards
 	cfg.EpochQuantum = opt.EpochQuantum
+
+	// The swizzle wraps underneath every scheme: BSL becomes the pure
+	// swizzled kernel, and the clustering transforms regroup the
+	// swizzled rasterization (partition direction still derives from
+	// the app's reference structure, which the wrapper forwards).
+	var baseK kernel.Kernel = app
+	if opt.Swizzle != "" {
+		sw, err := swizzle.Wrap(opt.Swizzle, app)
+		if err != nil {
+			return nil, err
+		}
+		baseK = sw
+	}
 
 	// sim builds a job that runs its own engine instance over k and
 	// parks the result (or the scheme-labelled error) in its own slots.
@@ -232,11 +253,11 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 	var jobs []func()
 
 	var base *engine.Result
-	jobs = append(jobs, sim(app, &base, stages.add(), "BSL"))
+	jobs = append(jobs, sim(baseK, &base, stages.add(), "BSL"))
 
 	// RD: redirection-based clustering along the app's partition order.
 	var rdRes *engine.Result
-	rd, rdErr := core.Redirect(app, ar.SMs, app.Partition(), nil)
+	rd, rdErr := core.Redirect(baseK, ar.SMs, app.Partition(), nil)
 	if rdErr != nil {
 		stages.addErr(rdErr)
 	} else {
@@ -245,7 +266,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 
 	// CLU: agent-based clustering, all allowable agents active.
 	var cluRes *engine.Result
-	clu, cluErr := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
+	clu, cluErr := core.NewAgent(baseK, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
 	if cluErr != nil {
 		stages.addErr(cluErr)
 	} else {
@@ -265,7 +286,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 		}
 		candRes = make([]*engine.Result, len(cands))
 		for i, a := range cands {
-			tk, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition(), ActiveAgents: a})
+			tk, err := core.NewAgent(baseK, core.AgentConfig{Arch: ar, Indexing: app.Partition(), ActiveAgents: a})
 			if err != nil {
 				stages.addErr(err)
 				cands, candRes = cands[:i], candRes[:i]
@@ -302,7 +323,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 
 	// CLU+TOT+BPS: bypass streaming accesses at the optimal throttle.
 	var bpsRes *engine.Result
-	bps, bpsErr := core.NewAgent(app, core.AgentConfig{
+	bps, bpsErr := core.NewAgent(baseK, core.AgentConfig{
 		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Bypass: true,
 	})
 	if bpsErr != nil {
@@ -313,7 +334,7 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 
 	// PFH+TOT: reshaped order + prefetching at the optimal throttle.
 	var pfhRes *engine.Result
-	pfh, pfhErr := core.NewAgent(app, core.AgentConfig{
+	pfh, pfhErr := core.NewAgent(baseK, core.AgentConfig{
 		Arch: ar, Indexing: app.Partition(), ActiveAgents: bestAgents, Prefetch: true,
 	})
 	if pfhErr != nil {

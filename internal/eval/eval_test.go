@@ -133,7 +133,7 @@ func TestFrameworkAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(acc.Verdicts) != 23 {
+	if len(acc.Verdicts) != 24 {
 		t.Fatalf("verdicts = %d", len(acc.Verdicts))
 	}
 	// The Figure 5 routing decision (exploitable vs not) is the one the

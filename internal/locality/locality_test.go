@@ -242,3 +242,83 @@ func TestGatherFrac(t *testing.T) {
 		t.Error("empty quant should have zero gather frac")
 	}
 }
+
+// ---- Quantify edge cases ----
+
+// TestQuantifySingleCTAGrid: a 1-CTA grid cannot exhibit inter-CTA
+// reuse by construction — every re-touch classifies as intra.
+func TestQuantifySingleCTAGrid(t *testing.T) {
+	k := &patKernel{ctas: 1, ops: func(cta int) []kernel.Op {
+		return []kernel.Op{
+			kernel.Load(0x1000, 0, 1, 4),
+			kernel.Load(0x1000, 0, 1, 4),
+			kernel.Load(0x2000, 4, 32, 4),
+		}
+	}}
+	q := Quantify(k, 32)
+	if q.InterCTA != 0 || q.InterCTALines != 0 {
+		t.Fatalf("1-CTA grid reported inter-CTA reuse: %+v", q)
+	}
+	if q.Reuses != 1 || q.IntraCTA != 1 {
+		t.Fatalf("repeat load should be one intra reuse: %+v", q)
+	}
+}
+
+// TestQuantifyGridSmallerThanPartition: a 2-wide grid still quantifies
+// cleanly even though it is narrower than any realistic SM partition —
+// the walk is placement-independent, so partition geometry never enters.
+func TestQuantifyGridSmallerThanPartition(t *testing.T) {
+	k := &patKernel{ctas: 2, grid: kernel.Dim2(2, 1), ops: func(cta int) []kernel.Op {
+		return []kernel.Op{kernel.Load(0x1000, 0, 1, 4)}
+	}}
+	q := Quantify(k, 32)
+	if q.Accesses != 2 || q.Reuses != 1 || q.InterCTA != 1 {
+		t.Fatalf("2-CTA shared line: %+v", q)
+	}
+	if q.Lines != 1 || q.InterCTALines != 1 {
+		t.Fatalf("line accounting: %+v", q)
+	}
+}
+
+// TestQuantifyNonPowerOfTwoLineBytes: line granularity is arithmetic
+// bucketing (addr / lineBytes), not bit masking, so non-power-of-two
+// sizes are valid — 48B lines split two 32B-apart scalars that one 64B
+// line would merge.
+func TestQuantifyNonPowerOfTwoLineBytes(t *testing.T) {
+	k := &patKernel{ctas: 2, ops: func(cta int) []kernel.Op {
+		// 0x00 and 0x20: same 64B line, same 48B line (0 and 0),
+		// while 0x30 lands in 48B-line 1.
+		return []kernel.Op{
+			kernel.Load(0x00, 0, 1, 4),
+			kernel.Load(0x30, 0, 1, 4),
+		}
+	}}
+	q48 := Quantify(k, 48)
+	if q48.LineBytes != 48 {
+		t.Fatalf("LineBytes = %d, want 48", q48.LineBytes)
+	}
+	if q48.Lines != 2 {
+		t.Fatalf("48B lines = %d, want 2 (0x00 and 0x30 in distinct buckets)", q48.Lines)
+	}
+	q128 := Quantify(k, 128)
+	if q128.Lines != 1 {
+		t.Fatalf("128B lines = %d, want 1 (both scalars merge)", q128.Lines)
+	}
+}
+
+// TestQuantifyDefaultLineBytes: zero and negative granularities fall
+// back to the 32B sector default rather than dividing by zero.
+func TestQuantifyDefaultLineBytes(t *testing.T) {
+	k := &patKernel{ctas: 2, ops: func(cta int) []kernel.Op {
+		return []kernel.Op{kernel.Load(0x1000, 0, 1, 4)}
+	}}
+	for _, lb := range []int{0, -7} {
+		q := Quantify(k, lb)
+		if q.LineBytes != 32 {
+			t.Fatalf("Quantify(lineBytes=%d).LineBytes = %d, want the 32B default", lb, q.LineBytes)
+		}
+		if q.Accesses != 2 || q.Reuses != 1 {
+			t.Fatalf("default-granularity walk broken: %+v", q)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func TestTable1Content(t *testing.T) {
 
 func TestTable2Content(t *testing.T) {
 	tab := Table2(workloads.Table2())
-	if len(tab.Rows) != 23 {
+	if len(tab.Rows) != 24 {
 		t.Fatalf("Table 2 rows = %d", len(tab.Rows))
 	}
 	var sb strings.Builder

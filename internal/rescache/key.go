@@ -177,7 +177,11 @@ func (k *Key) Config(cfg engine.Config) *Key {
 
 // ConfigKey is the canonical key of one engine run: the kernel identity
 // (the caller's canonical description of app + scheme + transform
-// parameters) under the full engine configuration.
-func ConfigKey(kernelID string, cfg engine.Config) string {
-	return NewKey("engine-run/v1").Str(kernelID).Config(cfg).Sum()
+// parameters) and the CTA swizzle applied under it, under the full
+// engine configuration. The swizzle is its own key field — NOT folded
+// into kernelID and NOT an exec-only carve-out — because a swizzle
+// changes the dispatch-order → tile mapping and therefore every cache
+// statistic and cycle count the run produces ("" means no swizzle).
+func ConfigKey(kernelID, swizzle string, cfg engine.Config) string {
+	return NewKey("engine-run/v1").Str(kernelID).Str(swizzle).Config(cfg).Sum()
 }

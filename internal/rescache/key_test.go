@@ -16,8 +16,8 @@ import (
 // change — which would silently orphan every cache entry in a deployed
 // daemon.
 func TestConfigKeyGolden(t *testing.T) {
-	got := ConfigKey("MM/BSL", engine.DefaultConfig(arch.TeslaK40()))
-	const want = "a9b91c99ab1c4c1b325bbcedc1894b7000a7df2507bf224daca8c1152ba0a872"
+	got := ConfigKey("MM/BSL", "", engine.DefaultConfig(arch.TeslaK40()))
+	const want = "d13a9de67500d83ff20fbc2ba60be0c52fc0f643eacdb5da9d3e38d1e81935d1"
 	if got != want {
 		t.Fatalf("ConfigKey golden drifted:\n got %s\nwant %s", got, want)
 	}
@@ -27,8 +27,8 @@ func TestConfigKeyGolden(t *testing.T) {
 // leaks into the key: two separately-allocated descriptors of the same
 // platform produce the same digest.
 func TestConfigKeyIdenticalAcrossAllocations(t *testing.T) {
-	a := ConfigKey("MM/BSL", engine.DefaultConfig(arch.TeslaK40()))
-	b := ConfigKey("MM/BSL", engine.DefaultConfig(arch.TeslaK40()))
+	a := ConfigKey("MM/BSL", "", engine.DefaultConfig(arch.TeslaK40()))
+	b := ConfigKey("MM/BSL", "", engine.DefaultConfig(arch.TeslaK40()))
 	if a != b {
 		t.Fatalf("same logical config hashed differently: %s vs %s", a, b)
 	}
@@ -70,7 +70,7 @@ func TestConfigKeyCoversEveryField(t *testing.T) {
 		}
 		cfg := base
 		fn(&cfg)
-		changed := ConfigKey("MM/BSL", cfg) != ConfigKey("MM/BSL", base)
+		changed := ConfigKey("MM/BSL", "", cfg) != ConfigKey("MM/BSL", "", base)
 		if configExecOnlyFields[name] {
 			if changed {
 				t.Errorf("perturbing execution-only field %s changed the key — it must stay excluded so shard counts share cache entries", name)
@@ -129,10 +129,16 @@ func TestKeyNoConcatenationAliasing(t *testing.T) {
 // schemes of one app) must never alias.
 func TestSchemeSeparation(t *testing.T) {
 	cfg := engine.DefaultConfig(arch.TeslaK40())
-	if ConfigKey("MM/BSL", cfg) == ConfigKey("MM/CLU", cfg) {
+	if ConfigKey("MM/BSL", "", cfg) == ConfigKey("MM/CLU", "", cfg) {
 		t.Fatal("scheme does not separate keys")
 	}
-	if ConfigKey("MM/BSL", cfg) == ConfigKey("NN/BSL", cfg) {
+	if ConfigKey("MM/BSL", "", cfg) == ConfigKey("NN/BSL", "", cfg) {
 		t.Fatal("app does not separate keys")
+	}
+	if ConfigKey("MM/BSL", "", cfg) == ConfigKey("MM/BSL", "xor", cfg) {
+		t.Fatal("swizzle does not separate keys")
+	}
+	if ConfigKey("MM/BSL", "xor", cfg) == ConfigKey("MM/BSL", "hilbert", cfg) {
+		t.Fatal("swizzle variants alias each other")
 	}
 }

@@ -133,6 +133,12 @@ func (c *Client) Table2(ctx context.Context) (*api.TableResponse, error) {
 	return get[api.TableResponse](c, ctx, "/v1/table2")
 }
 
+// Transforms fetches the transform vocabulary: scheme labels and CTA
+// tile swizzle names, each sorted.
+func (c *Client) Transforms(ctx context.Context) (*api.TransformsResponse, error) {
+	return get[api.TransformsResponse](c, ctx, "/v1/transforms")
+}
+
 // Metrics fetches the daemon counters.
 func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
 	return get[api.MetricsResponse](c, ctx, "/metrics")

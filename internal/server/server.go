@@ -37,6 +37,7 @@ import (
 	"ctacluster/internal/prof"
 	"ctacluster/internal/report"
 	"ctacluster/internal/rescache"
+	"ctacluster/internal/swizzle"
 	"ctacluster/internal/workloads"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 	// Shards: it never enters cache keys and results are byte-identical
 	// at every setting.
 	EpochQuantum int64
+	// Swizzle is the default CTA tile swizzle (internal/swizzle name)
+	// applied to every kernel the daemon simulates; requests carrying
+	// their own swizzle field override it. UNLIKE Shards/EpochQuantum it
+	// is result-affecting, so the resolved value is a full cache-key
+	// field — daemons configured with different defaults never share
+	// entries for the same request. Empty means no swizzle.
+	Swizzle string
 	// CacheBytes / CacheEntries bound the result cache (defaults in
 	// rescache.New).
 	CacheBytes   int64
@@ -135,6 +143,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/table1", s.handleTable1)
 	mux.HandleFunc("GET /v1/table2", s.handleTable2)
+	mux.HandleFunc("GET /v1/transforms", s.handleTransforms)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -245,9 +254,11 @@ func (s *Server) compute(w http.ResponseWriter, r *http.Request, key string, tim
 	writeJSON(w, http.StatusOK, disposition, body)
 }
 
-// schemeKernel builds the kernel for a simulate request's scheme and
-// returns its canonical scheme label.
-func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch) (kernel.Kernel, string, error) {
+// schemeKernel builds the kernel for a simulate request's scheme —
+// wrapping the app in the resolved swizzle (canonical name, "" = none)
+// before any clustering transform — and returns its canonical scheme
+// label.
+func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch, swz string) (kernel.Kernel, string, error) {
 	scheme := strings.ToUpper(strings.TrimSpace(req.Scheme))
 	if scheme == "" {
 		scheme = "BSL"
@@ -255,14 +266,22 @@ func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch) (k
 	if scheme != "CLU" && (req.Agents != 0 || req.Bypass || req.Prefetch) {
 		return nil, "", fmt.Errorf("agents/bypass/prefetch only apply to scheme CLU, got %s", scheme)
 	}
+	var base kernel.Kernel = app
+	if swz != "" {
+		sk, err := swizzle.Wrap(swz, app)
+		if err != nil {
+			return nil, "", err
+		}
+		base = sk
+	}
 	switch scheme {
 	case "BSL":
-		return app, scheme, nil
+		return base, scheme, nil
 	case "RD":
-		k, err := core.Redirect(app, ar.SMs, app.Partition(), nil)
+		k, err := core.Redirect(base, ar.SMs, app.Partition(), nil)
 		return k, scheme, err
 	case "CLU":
-		k, err := core.NewAgent(app, core.AgentConfig{
+		k, err := core.NewAgent(base, core.AgentConfig{
 			Arch: ar, Indexing: app.Partition(),
 			ActiveAgents: req.Agents, Bypass: req.Bypass, Prefetch: req.Prefetch,
 		})
@@ -270,6 +289,15 @@ func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch) (k
 	default:
 		return nil, "", fmt.Errorf("unknown scheme %q (known: BSL, RD, CLU)", req.Scheme)
 	}
+}
+
+// swizzleFor resolves a request's swizzle, falling back to the daemon's
+// configured default.
+func (s *Server) swizzleFor(req string) (string, error) {
+	if strings.TrimSpace(req) == "" {
+		req = s.cfg.Swizzle
+	}
+	return cli.Swizzle(req)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -288,7 +316,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	k, scheme, err := schemeKernel(req, app, ar)
+	swz, err := s.swizzleFor(req.Swizzle)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	k, scheme, err := schemeKernel(req, app, ar, swz)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -313,7 +346,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	kernelID := fmt.Sprintf("%s/%s/agents=%d/bypass=%t/prefetch=%t",
 		app.Name(), scheme, req.Agents, req.Bypass, req.Prefetch)
-	key := rescache.ConfigKey(kernelID, cfg)
+	// The swizzle is its own key field (result-affecting — no exec-only
+	// carve-out like Shards/EpochQuantum).
+	key := rescache.ConfigKey(kernelID, swz, cfg)
 
 	start := time.Now()
 	s.compute(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
@@ -321,9 +356,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, scheme, res))
+		return api.Marshal(api.SimulateResponseFrom(app.Name(), ar.Name, scheme, swz, res))
 	})
-	s.logf("simulate %s in %v", kernelID, time.Since(start))
+	s.logf("simulate %s swizzle=%q in %v", kernelID, swz, time.Since(start))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -343,10 +378,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	swz, err := s.swizzleFor(req.Swizzle)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
 	// The sweep key covers the full platform descriptors, the canonical
-	// app list and every option that feeds the simulations. Parallelism
-	// is deliberately excluded (results are byte-identical for any
-	// worker count — the determinism goldens pin this).
+	// app list, the resolved swizzle and every option that feeds the
+	// simulations. Parallelism is deliberately excluded (results are
+	// byte-identical for any worker count — the determinism goldens pin
+	// this).
 	kb := rescache.NewKey("sweep/v1")
 	for _, ar := range platforms {
 		kb.Arch(ar)
@@ -355,7 +397,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, a := range apps {
 		names[i] = a.Name()
 	}
-	kb.Strs(names).Bool(req.Quick).Int(req.Seed)
+	kb.Strs(names).Bool(req.Quick).Int(req.Seed).Str(swz)
 	key := kb.Sum()
 
 	start := time.Now()
@@ -367,6 +409,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Parallelism:  s.cfg.Parallelism,
 			Shards:       s.cfg.Shards,
 			EpochQuantum: s.cfg.EpochQuantum,
+			Swizzle:      swz,
 		}
 		sweep, err := eval.EvaluateAll(platforms, apps, opt, nil)
 		if err != nil {
@@ -426,6 +469,16 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 	s.serveStatic(w, api.TableResponseFrom(report.Table2(workloads.Table2())))
+}
+
+// handleTransforms lists the transform vocabulary: scheme labels and
+// CTA tile swizzle names, each sorted, so clients can discover what a
+// simulate/sweep request may carry.
+func (s *Server) handleTransforms(w http.ResponseWriter, r *http.Request) {
+	s.serveStatic(w, api.TransformsResponse{
+		Schemes:  []string{"BSL", "CLU", "RD"},
+		Swizzles: swizzle.Names(),
+	})
 }
 
 func (s *Server) serveStatic(w http.ResponseWriter, v any) {

@@ -10,11 +10,13 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io/fs"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -24,6 +26,7 @@ import (
 	"ctacluster/internal/prof"
 	"ctacluster/internal/server"
 	"ctacluster/internal/server/client"
+	"ctacluster/internal/swizzle"
 )
 
 // newDaemon starts a daemon on an ephemeral port and returns its client.
@@ -600,5 +603,91 @@ func TestDiskCacheQuarantineServesMiss(t *testing.T) {
 	}
 	if m.DiskCache == nil || m.DiskCache.Corruptions != 1 || m.DiskCache.Quarantined != 1 {
 		t.Fatalf("disk stats after corruption = %+v, want 1 corruption / 1 quarantined", m.DiskCache)
+	}
+}
+
+// TestTransformsEndpoint pins the GET /v1/transforms vocabulary: scheme
+// labels and swizzle names, each sorted, matching the registries.
+func TestTransformsEndpoint(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1})
+	tr, err := c.Transforms(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"BSL", "CLU", "RD"}; !reflect.DeepEqual(tr.Schemes, want) {
+		t.Fatalf("schemes = %v, want %v", tr.Schemes, want)
+	}
+	if !reflect.DeepEqual(tr.Swizzles, swizzle.Names()) {
+		t.Fatalf("swizzles = %v, want %v", tr.Swizzles, swizzle.Names())
+	}
+	if !sort.StringsAreSorted(tr.Swizzles) {
+		t.Fatalf("swizzles not sorted: %v", tr.Swizzles)
+	}
+}
+
+// TestSimulateSwizzleSeparatesCacheEntries pins the result-affecting
+// contract end to end: the same request with and without a swizzle are
+// distinct cache entries with distinct results, while spelling the same
+// swizzle in a different case shares one entry byte-for-byte.
+func TestSimulateSwizzleSeparatesCacheEntries(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 2})
+	ctx := context.Background()
+
+	plain, err := c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, disp, err := c.SimulateRaw(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Swizzle: "hilbert"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "miss" {
+		t.Fatalf("first swizzled request disposition = %q, want miss", disp)
+	}
+	var swz api.SimulateResponse
+	if err := json.Unmarshal(cold, &swz); err != nil {
+		t.Fatal(err)
+	}
+	if swz.Swizzle != "hilbert" {
+		t.Fatalf("response swizzle = %q, want hilbert", swz.Swizzle)
+	}
+	if plain.Swizzle != "" {
+		t.Fatalf("unswizzled response carries swizzle %q", plain.Swizzle)
+	}
+	if plain.Cycles == swz.Cycles && plain.L2ReadTransactions == swz.L2ReadTransactions {
+		t.Fatal("swizzled and plain runs identical — swizzle not applied or key aliased")
+	}
+
+	// Case-insensitive spellings resolve to one canonical cache entry.
+	warm, disp, err := c.SimulateRaw(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Swizzle: "HILBERT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != "hit" {
+		t.Fatalf("case-variant disposition = %q, want hit", disp)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("case-variant swizzle served different bytes")
+	}
+
+	_, err = c.Simulate(ctx, api.SimulateRequest{App: "MM", Arch: "TeslaK40", Swizzle: "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "unknown swizzle") {
+		t.Fatalf("unknown swizzle err = %v, want 400 unknown swizzle", err)
+	}
+	if !strings.Contains(err.Error(), "groupcol, hilbert, identity, xor") {
+		t.Fatalf("unknown-swizzle error must list the sorted variants: %v", err)
+	}
+}
+
+// TestDaemonDefaultSwizzle: a daemon configured with -swizzle applies
+// it to requests that carry none, and the response says so.
+func TestDaemonDefaultSwizzle(t *testing.T) {
+	c := newDaemon(t, server.Config{Workers: 1, Swizzle: "xor"})
+	res, err := c.Simulate(context.Background(), api.SimulateRequest{App: "SGM", Arch: "TeslaK40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swizzle != "xor" {
+		t.Fatalf("response swizzle = %q, want the daemon default xor", res.Swizzle)
 	}
 }

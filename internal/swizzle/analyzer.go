@@ -1,0 +1,204 @@
+package swizzle
+
+// The L2 inter-CTA reuse analyzer: the post-coalescing sibling of
+// internal/locality's pre-L1 quantification. locality.Quantify asks
+// "which CTAs touch the same line at all?" — the clustering question,
+// answered before any placement. This analyzer asks the swizzling
+// question: of the CTAs that are *co-resident* (occupying the GPU
+// during the same dispatch window, the window width derived from
+// occupancy), how many L2-line fetches are shared between them? A
+// swizzle cannot change what a CTA touches, only *when* it is resident
+// relative to its sharers, so the windowed count is exactly the
+// quantity a swizzle moves.
+
+import (
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// DefaultLineBytes is the line granularity assumed when the caller
+// passes lineBytes <= 0, matching locality.Quantify's convention and
+// the 32-byte L2 sector size of every Table 1 platform.
+const DefaultLineBytes = 32
+
+// Quant is the result of one windowed L2 reuse analysis.
+type Quant struct {
+	// LineBytes is the line granularity analyzed. Any positive value is
+	// accepted, power of two or not: addresses bucket into
+	// floor-aligned lineBytes segments either way (non-power-of-two
+	// granularities model sectored or software-managed caches; they are
+	// just a different bucketing, not an error).
+	LineBytes int
+	// Window is the co-residency window width in CTAs: how many CTAs
+	// the whole GPU holds concurrently at this kernel's occupancy.
+	Window int
+	// Windows is the number of windows the dispatch order was cut into.
+	Windows int
+	// Accesses is the total number of line-granular read requests
+	// (post-coalescing segments) issued by all CTAs.
+	Accesses uint64
+	// Fetches counts distinct (window, line) pairs: the compulsory L2
+	// fetches if the L2 retained every line for a full co-residency
+	// window. Fewer fetches at equal accesses means more reuse.
+	Fetches uint64
+	// SharedLines counts fetched lines touched by at least two distinct
+	// CTAs of the same window — the inter-CTA share of the footprint.
+	SharedLines uint64
+	// CrossReuses counts read requests that hit a window-resident line
+	// first touched by a different CTA: the cross-CTA L2 hits a perfect
+	// swizzle maximizes.
+	CrossReuses uint64
+}
+
+// SharedFraction is the fraction of window-compulsory fetches whose
+// line is shared by co-resident CTAs.
+func (q Quant) SharedFraction() float64 {
+	if q.Fetches == 0 {
+		return 0
+	}
+	return float64(q.SharedLines) / float64(q.Fetches)
+}
+
+// CrossReuseFraction is the fraction of all read requests served by a
+// line a co-resident *other* CTA fetched first.
+func (q Quant) CrossReuseFraction() float64 {
+	if q.Accesses == 0 {
+		return 0
+	}
+	return float64(q.CrossReuses) / float64(q.Accesses)
+}
+
+// WindowHitRate is the upper-bound L2 hit rate of a cache that retains
+// exactly one co-residency window's footprint.
+func (q Quant) WindowHitRate() float64 {
+	if q.Accesses == 0 {
+		return 0
+	}
+	return float64(q.Accesses-q.Fetches) / float64(q.Accesses)
+}
+
+// lineState tracks one resident line within the current window.
+type lineState struct {
+	firstCTA int32
+	shared   bool
+}
+
+// Analyzer runs windowed L2 reuse analyses. It is reusable and keeps
+// its line map and coalescing scratch across calls, so a warm Analyzer
+// analyzing a trace-static kernel allocates nothing (the zero-alloc
+// contract in alloc_test.go); analyzing real workloads is dominated by
+// the kernel's own Work trace generation. Not safe for concurrent use.
+type Analyzer struct {
+	lines   map[uint64]lineState
+	scratch []uint64
+}
+
+// NewAnalyzer returns an Analyzer with warm scratch for the given
+// expected footprint (lines may be 0 for a default).
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{lines: make(map[uint64]lineState, 1024), scratch: make([]uint64, 0, 64)}
+}
+
+// Analyze quantifies cross-CTA L2 line sharing of k on ar, with the
+// co-residency window derived from occupancy: the number of CTAs the
+// whole GPU holds at once (CTAs/SM × SMs) at k's register, warp and
+// shared-memory footprint.
+func (a *Analyzer) Analyze(k kernel.Kernel, ar *arch.Arch) Quant {
+	occ := ar.OccupancyFor(k.WarpsPerCTA(), k.RegsPerThread(ar.Gen), k.SharedMemPerCTA())
+	window := occ.CTAsPerSM * ar.SMs
+	return a.AnalyzeWindow(k, ar.L2Line, window)
+}
+
+// AnalyzeWindow is Analyze with an explicit line granularity and window
+// width (both clamped to at least 1 CTA / DefaultLineBytes). It walks
+// the dispatch order u = 0..N-1 in consecutive windows of the given
+// width, counting line-granular reads against the lines the current
+// window has already fetched. CTAs are launched placement-free
+// (Launch{CTA: u} only); kernels whose Work reads SM/Slot bindings
+// (agent-clustered kernels) should be analyzed before that transform.
+func (a *Analyzer) AnalyzeWindow(k kernel.Kernel, lineBytes, window int) Quant {
+	if lineBytes <= 0 {
+		lineBytes = DefaultLineBytes
+	}
+	if window < 1 {
+		window = 1
+	}
+	if a.lines == nil {
+		a.lines = make(map[uint64]lineState, 1024)
+	}
+	clear(a.lines)
+	q := Quant{LineBytes: lineBytes, Window: window}
+	n := k.GridDim().Count()
+	for u := 0; u < n; u++ {
+		if u%window == 0 {
+			clear(a.lines)
+			q.Windows++
+		}
+		work := k.Work(kernel.Launch{CTA: u})
+		if work.Skip {
+			continue
+		}
+		for _, ops := range work.Warps {
+			for i := range ops {
+				op := &ops[i]
+				if op.Kind != kernel.OpMem || op.Mem.Write {
+					continue
+				}
+				a.scratch = op.Mem.AppendTransactions(a.scratch[:0], lineBytes)
+				for _, seg := range a.scratch {
+					q.Accesses++
+					st, ok := a.lines[seg]
+					if !ok {
+						q.Fetches++
+						a.lines[seg] = lineState{firstCTA: int32(u)}
+						continue
+					}
+					if st.firstCTA != int32(u) {
+						q.CrossReuses++
+						if !st.shared {
+							st.shared = true
+							a.lines[seg] = st
+							q.SharedLines++
+						}
+					}
+				}
+			}
+		}
+	}
+	return q
+}
+
+// VariantScore is one swizzle's analyzer outcome for a kernel.
+type VariantScore struct {
+	Swizzle string
+	Quant   Quant
+}
+
+// Prediction ranks every registered swizzle for one (kernel, arch).
+type Prediction struct {
+	// Best is the predicted-fastest swizzle: fewest window-compulsory
+	// fetches, ties broken by sorted name (so "identity" wins a tie
+	// against any costlier remap that buys nothing).
+	Best string
+	// Scores holds one entry per registered swizzle, in Names() order.
+	Scores []VariantScore
+}
+
+// PredictBest wraps k with every registered swizzle, analyzes each on
+// ar, and predicts the best one by minimum window-compulsory fetches.
+func (a *Analyzer) PredictBest(k kernel.Kernel, ar *arch.Arch) (Prediction, error) {
+	var p Prediction
+	var bestFetches uint64
+	for _, name := range Names() {
+		sk, err := Wrap(name, k)
+		if err != nil {
+			return Prediction{}, err
+		}
+		q := a.Analyze(sk, ar)
+		p.Scores = append(p.Scores, VariantScore{Swizzle: name, Quant: q})
+		if p.Best == "" || q.Fetches < bestFetches {
+			p.Best, bestFetches = name, q.Fetches
+		}
+	}
+	return p, nil
+}

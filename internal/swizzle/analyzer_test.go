@@ -1,0 +1,195 @@
+package swizzle
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/workloads"
+)
+
+// pairKernel: CTA u issues one 4-byte single-lane load on the line
+// shared with its pair partner (u/2), so line sharing is exactly
+// hand-computable: lines are disjoint across pairs, shared within one.
+type pairKernel struct {
+	n int
+}
+
+func (k *pairKernel) Name() string                      { return "pair" }
+func (k *pairKernel) GridDim() kernel.Dim3              { return kernel.Dim1(k.n) }
+func (k *pairKernel) BlockDim() kernel.Dim3             { return kernel.Dim1(32) }
+func (k *pairKernel) WarpsPerCTA() int                  { return 1 }
+func (k *pairKernel) RegsPerThread(arch.Generation) int { return 16 }
+func (k *pairKernel) SharedMemPerCTA() int              { return 0 }
+func (k *pairKernel) Work(l kernel.Launch) kernel.CTAWork {
+	return kernel.CTAWork{Warps: [][]kernel.Op{{
+		kernel.Load(uint64((l.CTA/2)*64), 0, 1, 4),
+	}}}
+}
+
+// TestAnalyzeWindowGolden pins the analyzer's arithmetic on the
+// hand-computable pair kernel: 8 CTAs, pairs (0,1)(2,3)(4,5)(6,7) each
+// sharing one 64-byte-spaced line.
+func TestAnalyzeWindowGolden(t *testing.T) {
+	k := &pairKernel{n: 8}
+	a := NewAnalyzer()
+	cases := []struct {
+		window int
+		want   Quant
+	}{
+		// Window 2 aligns with the pairs: every second CTA cross-reuses.
+		{2, Quant{LineBytes: 32, Window: 2, Windows: 4, Accesses: 8, Fetches: 4, SharedLines: 4, CrossReuses: 4}},
+		// Window 1: no co-residency, no sharing.
+		{1, Quant{LineBytes: 32, Window: 1, Windows: 8, Accesses: 8, Fetches: 8, SharedLines: 0, CrossReuses: 0}},
+		// Whole grid in one window: same sharing as the aligned pairs.
+		{8, Quant{LineBytes: 32, Window: 8, Windows: 1, Accesses: 8, Fetches: 4, SharedLines: 4, CrossReuses: 4}},
+		// Window 4 covers two pairs at a time: same totals.
+		{4, Quant{LineBytes: 32, Window: 4, Windows: 2, Accesses: 8, Fetches: 4, SharedLines: 4, CrossReuses: 4}},
+	}
+	for _, c := range cases {
+		got := a.AnalyzeWindow(k, 32, c.window)
+		if got != c.want {
+			t.Errorf("window %d: got %+v, want %+v", c.window, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzeWindowMisalignedWindow: a window that straddles pairs
+// (width 3 on pairs of 2) splits some sharers into different windows,
+// losing exactly their reuse — the effect a swizzle would repair.
+func TestAnalyzeWindowMisalignedWindow(t *testing.T) {
+	k := &pairKernel{n: 8}
+	a := NewAnalyzer()
+	got := a.AnalyzeWindow(k, 32, 3)
+	// Windows: {0,1,2} {3,4,5} {6,7}: pairs (0,1), (4,5) and (6,7)
+	// stay co-resident, (2,3) is split and pays a second fetch.
+	want := Quant{LineBytes: 32, Window: 3, Windows: 3, Accesses: 8, Fetches: 5, SharedLines: 3, CrossReuses: 3}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+// TestAnalyzerDefaults: non-positive lineBytes falls back to the
+// 32-byte L2 sector, non-positive windows clamp to one CTA.
+func TestAnalyzerDefaults(t *testing.T) {
+	k := &pairKernel{n: 4}
+	a := NewAnalyzer()
+	got := a.AnalyzeWindow(k, 0, 0)
+	if got.LineBytes != DefaultLineBytes || got.Window != 1 {
+		t.Errorf("defaults: LineBytes=%d Window=%d, want %d and 1", got.LineBytes, got.Window, DefaultLineBytes)
+	}
+}
+
+// TestAnalyzerNonPowerOfTwoLine: any positive granularity is a valid
+// bucketing (floor-aligned segments), documented rather than rejected.
+func TestAnalyzerNonPowerOfTwoLine(t *testing.T) {
+	k := &pairKernel{n: 2}
+	a := NewAnalyzer()
+	got := a.AnalyzeWindow(k, 48, 2)
+	// Both CTAs load 4 bytes at address 0 → one 48-byte segment at 0.
+	want := Quant{LineBytes: 48, Window: 2, Windows: 1, Accesses: 2, Fetches: 1, SharedLines: 1, CrossReuses: 1}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+// storeKernel only writes; the analyzer counts read lines.
+type storeKernel struct{ pairKernel }
+
+func (k *storeKernel) Work(l kernel.Launch) kernel.CTAWork {
+	return kernel.CTAWork{Warps: [][]kernel.Op{{
+		kernel.Store(uint64((l.CTA/2)*64), 0, 1, 4),
+	}}}
+}
+
+func TestAnalyzerIgnoresWrites(t *testing.T) {
+	k := &storeKernel{pairKernel{n: 4}}
+	a := NewAnalyzer()
+	got := a.AnalyzeWindow(k, 32, 4)
+	if got.Accesses != 0 || got.Fetches != 0 {
+		t.Errorf("writes counted as reads: %+v", got)
+	}
+}
+
+// TestAnalyzerStateReset: a reused Analyzer produces exactly what a
+// fresh one does — no state leaks between analyses.
+func TestAnalyzerStateReset(t *testing.T) {
+	big := &pairKernel{n: 64}
+	small := &pairKernel{n: 4}
+	warm := NewAnalyzer()
+	warm.AnalyzeWindow(big, 32, 8)
+	got := warm.AnalyzeWindow(small, 32, 2)
+	want := NewAnalyzer().AnalyzeWindow(small, 32, 2)
+	if got != want {
+		t.Errorf("reused analyzer: %+v, fresh: %+v", got, want)
+	}
+}
+
+// TestAnalyzeDerivesWindowFromOccupancy: Analyze must use the
+// occupancy-derived co-residency width (CTAs/SM × SMs) and the arch's
+// L2 line size.
+func TestAnalyzeDerivesWindowFromOccupancy(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	occ := ar.OccupancyFor(app.WarpsPerCTA(), app.RegsPerThread(ar.Gen), app.SharedMemPerCTA())
+	got := NewAnalyzer().Analyze(app, ar)
+	if got.Window != occ.CTAsPerSM*ar.SMs {
+		t.Errorf("window = %d, want CTAsPerSM(%d) × SMs(%d)", got.Window, occ.CTAsPerSM, ar.SMs)
+	}
+	if got.LineBytes != ar.L2Line {
+		t.Errorf("lineBytes = %d, want arch L2 line %d", got.LineBytes, ar.L2Line)
+	}
+}
+
+// TestMMSwizzleOrdering is the real-workload golden: on MM (tiled GEMM,
+// the canonical swizzle target) every locality-improving swizzle must
+// beat the row-major identity on window-compulsory fetches, and the
+// analysis must be deterministic call over call.
+func TestMMSwizzleOrdering(t *testing.T) {
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.TeslaK40()
+	a := NewAnalyzer()
+	pred, err := a.PredictBest(app, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Scores) != len(Names()) {
+		t.Fatalf("%d scores, want one per variant", len(pred.Scores))
+	}
+	byName := map[string]Quant{}
+	for i, s := range pred.Scores {
+		if s.Swizzle != Names()[i] {
+			t.Fatalf("scores out of Names() order: %v", pred.Scores)
+		}
+		byName[s.Swizzle] = s.Quant
+	}
+	id := byName["identity"]
+	for _, name := range []string{"groupcol", "hilbert"} {
+		if byName[name].Fetches >= id.Fetches {
+			t.Errorf("%s fetches %d, want < identity's %d on MM", name, byName[name].Fetches, id.Fetches)
+		}
+	}
+	if pred.Best == "identity" {
+		t.Errorf("predicted best = identity; a locality swizzle should win on MM")
+	}
+	// Accesses are swizzle-invariant (pure remap, conservation).
+	for name, q := range byName {
+		if q.Accesses != id.Accesses {
+			t.Errorf("%s accesses %d differ from identity's %d — remap changed the work", name, q.Accesses, id.Accesses)
+		}
+	}
+	again, err := NewAnalyzer().PredictBest(app, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pred, again) {
+		t.Error("PredictBest is not deterministic")
+	}
+}

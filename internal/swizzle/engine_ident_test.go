@@ -1,0 +1,67 @@
+package swizzle
+
+// The determinism contract extended to the new family: a swizzled
+// kernel must produce byte-identical simulation Results serially,
+// sharded at any shard count and at any epoch-quantum width, exactly
+// like internal/engine's differential matrices pin for plain and
+// clustered kernels. Instrumented runs shrink the matrix the same way
+// internal/eval's race sweeps do.
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/workloads"
+)
+
+func identApps(t *testing.T) []string {
+	t.Helper()
+	if raceEnabled || testing.Short() {
+		return []string{"MM"}
+	}
+	return []string{"MM", "SGM", "HST"}
+}
+
+func identVariants() []string {
+	if raceEnabled || testing.Short() {
+		return []string{"xor", "hilbert"}
+	}
+	return Names()
+}
+
+func TestSwizzledByteIdentity(t *testing.T) {
+	ar := arch.TeslaK40()
+	for _, name := range identApps(t) {
+		app, err := workloads.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range identVariants() {
+			sk, err := Wrap(v, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := engine.Run(engine.DefaultConfig(ar), sk)
+			if err != nil {
+				t.Fatalf("%s+%s serial: %v", name, v, err)
+			}
+			for _, shards := range []int{2, 4} {
+				for _, quantum := range []int64{0, 1} {
+					cfg := engine.DefaultConfig(ar)
+					cfg.Shards = shards
+					cfg.EpochQuantum = quantum
+					got, err := engine.Run(cfg, sk)
+					if err != nil {
+						t.Fatalf("%s+%s shards=%d quantum=%d: %v", name, v, shards, quantum, err)
+					}
+					if !reflect.DeepEqual(serial, got) {
+						t.Errorf("%s+%s: shards=%d quantum=%d differs from serial (cycles %d vs %d)",
+							name, v, shards, quantum, serial.Cycles, got.Cycles)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package swizzle
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation tests skip themselves under instrumentation, which changes
+// allocation counts.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package swizzle
+
+// raceEnabled reports whether the race detector is compiled in; see
+// norace_test.go.
+const raceEnabled = true

@@ -1,0 +1,296 @@
+// Package swizzle implements CTA tile swizzling, a third transform
+// family alongside internal/core's redirection- and agent-based
+// clustering. Where the paper's transforms (Section 4.2) regroup CTAs
+// for intra-SM L1 reuse, a swizzle remaps the CTA→tile rasterization
+// order so that *concurrently resident* CTAs — the ones occupying the
+// whole GPU during the same dispatch window — touch overlapping L2
+// lines. This is the CUTLASS threadblock-swizzle technique (GROUP_M
+// grouped rasterization, XOR bit-twiddles, space-filling curves); the
+// paper never evaluated it, which makes the clustering-vs-swizzling
+// comparison in internal/eval new science on existing infrastructure.
+//
+// Every variant is a pure CTA-index remap: a bijection perm over the
+// grid's linear CTA ids, applied by wrapping the original kernel the
+// same way core.RedirectKernel does. Conservation therefore holds by
+// construction — the transformed kernel executes exactly the original
+// work multiset — and is proven by the package's conservation and
+// bijectivity-fuzz tests.
+//
+// The package also hosts the L2 inter-CTA reuse analyzer (analyzer.go),
+// the post-coalescing sibling of internal/locality's pre-L1
+// quantification: it slides an occupancy-derived co-residency window
+// over the dispatch order and counts cross-CTA L2 line sharing, which
+// is the quantity a good swizzle maximizes.
+package swizzle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/kernel"
+)
+
+// Per-CTA index-recomputation costs in SM cycles, charged like
+// internal/core's indexCost: the swizzled kernel recomputes its tile
+// coordinate from blockIdx at entry. The identity variant is free (it
+// is the compiler's own row-major rasterization); XOR is a couple of
+// integer ops; the grouped-column swizzle needs a div/mod pair; the
+// Hilbert curve runs a short iterative bit loop per level.
+const (
+	costIdentity = 0
+	costXOR      = 4
+	costGroupCol = 8
+	costHilbert  = 24
+)
+
+// GroupM is the grouped-column swizzle's group height in tiles, the
+// CUTLASS GemmIdentityThreadblockSwizzle "GROUP_M" parameter. Eight
+// rows per group keeps a group's working set within one L2 slice on
+// every Table 1 platform.
+const GroupM = 8
+
+// variant describes one registered swizzle: its remap cost and the
+// permutation builder over an nx × ny CTA grid. A nil build means the
+// identity (row-major) order.
+type variant struct {
+	cost  int
+	build func(nx, ny int) []int
+}
+
+var variants = map[string]variant{
+	"identity": {cost: costIdentity, build: nil},
+	"xor":      {cost: costXOR, build: xorPerm},
+	"groupcol": {cost: costGroupCol, build: groupColPerm},
+	"hilbert":  {cost: costHilbert, build: hilbertPerm},
+}
+
+// Names returns the registered swizzle names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(variants))
+	for n := range variants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kernel is a swizzled kernel: the wrapped original with its CTA ids
+// remapped through a bijection, mirroring core.RedirectKernel. The grid,
+// block and resource footprint are unchanged; only the dispatch-order →
+// tile mapping moves.
+type Kernel struct {
+	orig    kernel.Kernel
+	variant string
+	cost    int
+	perm    []int // dispatch slot u -> original linear CTA id; nil = identity
+}
+
+// Wrap builds the named swizzle of orig. The name is matched
+// case-insensitively against Names(); an unknown name yields an error
+// listing the known swizzles in sorted order, matching internal/cli's
+// unknown-app/-arch style. Grids with Z > 1 are swizzled on their
+// (X, Y·Z) flattening, which preserves the linear CTA id layout.
+func Wrap(name string, orig kernel.Kernel) (*Kernel, error) {
+	canon := strings.ToLower(strings.TrimSpace(name))
+	v, ok := variants[canon]
+	if !ok {
+		return nil, fmt.Errorf("swizzle: unknown swizzle %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	g := orig.GridDim()
+	nx, ny := g.X, g.Y
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	if g.Z > 1 {
+		ny *= g.Z
+	}
+	var perm []int
+	if v.build != nil {
+		perm = v.build(nx, ny)
+		if !isPermutation(perm, nx*ny) {
+			panic(fmt.Sprintf("swizzle: internal error: %s permutation is not bijective on %dx%d", canon, nx, ny))
+		}
+	}
+	return &Kernel{orig: orig, variant: canon, cost: v.cost, perm: perm}, nil
+}
+
+// isPermutation reports whether perm is a bijection over [0, n).
+func isPermutation(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Variant returns the canonical swizzle name.
+func (k *Kernel) Variant() string { return k.variant }
+
+// Name labels the transformed kernel.
+func (k *Kernel) Name() string { return k.orig.Name() + "+SWZ(" + k.variant + ")" }
+
+// GridDim matches the original (a swizzle launches the same grid).
+func (k *Kernel) GridDim() kernel.Dim3 { return k.orig.GridDim() }
+
+// BlockDim matches the original.
+func (k *Kernel) BlockDim() kernel.Dim3 { return k.orig.BlockDim() }
+
+// WarpsPerCTA matches the original.
+func (k *Kernel) WarpsPerCTA() int { return k.orig.WarpsPerCTA() }
+
+// RegsPerThread matches the original (the remap needs two scratch
+// integers, below the allocation granularity).
+func (k *Kernel) RegsPerThread(g arch.Generation) int { return k.orig.RegsPerThread(g) }
+
+// SharedMemPerCTA matches the original.
+func (k *Kernel) SharedMemPerCTA() int { return k.orig.SharedMemPerCTA() }
+
+// ArrayRefs exposes the original kernel's reference structure, so the
+// locality framework's dependence analysis sees through the swizzle.
+func (k *Kernel) ArrayRefs() []kernel.ArrayRef {
+	if rd, ok := k.orig.(kernel.RefDescriber); ok {
+		return rd.ArrayRefs()
+	}
+	return nil
+}
+
+// Target returns the original CTA id that dispatch slot u executes
+// (exported for the property tests and the analyzer).
+func (k *Kernel) Target(u int) int {
+	if k.perm == nil {
+		return u
+	}
+	return k.perm[u]
+}
+
+// Work remaps CTA u to its swizzled tile and charges the per-CTA index
+// recomputation, exactly the way core.RedirectKernel does.
+func (k *Kernel) Work(l kernel.Launch) kernel.CTAWork {
+	target := k.Target(l.CTA)
+	if target == l.CTA && k.cost == 0 {
+		return k.orig.Work(l)
+	}
+	inner := l
+	inner.CTA = target
+	work := k.orig.Work(inner)
+	if k.cost > 0 {
+		work.Warps = prependCompute(work.Warps, k.cost)
+	}
+	return work
+}
+
+// prependCompute inserts a compute op of c cycles at the head of every
+// warp trace (the per-thread tile recomputation), without mutating the
+// original traces.
+func prependCompute(warps [][]kernel.Op, c int) [][]kernel.Op {
+	out := make([][]kernel.Op, len(warps))
+	for i, ops := range warps {
+		w := make([]kernel.Op, 0, len(ops)+1)
+		w = append(w, kernel.Compute(c))
+		w = append(w, ops...)
+		out[i] = w
+	}
+	return out
+}
+
+// xorPerm is the bit-twiddle swizzle: within each row, tile x is
+// relocated to x XOR (y & (p-1)) where p is the largest power of two
+// not exceeding nx. XORing a row-dependent pattern into the column
+// spreads vertically adjacent tiles across column groups, so a
+// co-residency window covering several rows touches clustered columns.
+// Columns >= p (the non-power-of-two remainder) stay in place, which
+// keeps the map bijective on any grid width.
+func xorPerm(nx, ny int) []int {
+	p := 1
+	for p*2 <= nx {
+		p *= 2
+	}
+	mask := p - 1
+	perm := make([]int, 0, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			xx := x
+			if x < p {
+				xx = x ^ (y & mask)
+			}
+			perm = append(perm, y*nx+xx)
+		}
+	}
+	return perm
+}
+
+// groupColPerm is the CUTLASS-style grouped-column rasterization: the
+// grid is cut into horizontal groups of GroupM rows and each group is
+// walked column-major. Consecutive dispatch slots then share a tile
+// column (B reuse in GEMM terms) while staying within GroupM rows of
+// A, instead of streaming across a full row. The last partial group is
+// walked the same way, so any ny is bijective.
+func groupColPerm(nx, ny int) []int {
+	perm := make([]int, 0, nx*ny)
+	for g0 := 0; g0 < ny; g0 += GroupM {
+		rows := GroupM
+		if g0+rows > ny {
+			rows = ny - g0
+		}
+		for x := 0; x < nx; x++ {
+			for yi := 0; yi < rows; yi++ {
+				perm = append(perm, (g0+yi)*nx+x)
+			}
+		}
+	}
+	return perm
+}
+
+// hilbertPerm walks the grid along a Hilbert space-filling curve on the
+// smallest power-of-two square covering it, skipping points outside the
+// grid. Successive dispatch slots are always spatially adjacent tiles,
+// which maximizes the 2D footprint overlap of any co-residency window
+// at the price of the most index arithmetic.
+func hilbertPerm(nx, ny int) []int {
+	n := 1
+	for n < nx || n < ny {
+		n <<= 1
+	}
+	perm := make([]int, 0, nx*ny)
+	for d := 0; d < n*n; d++ {
+		x, y := hilbertD2XY(n, d)
+		if x < nx && y < ny {
+			perm = append(perm, y*nx+x)
+		}
+	}
+	return perm
+}
+
+// hilbertD2XY converts a distance d along the Hilbert curve of order-n
+// (n a power of two) to its (x, y) cell, by the standard
+// quadrant-rotation recurrence unrolled into a loop.
+func hilbertD2XY(n, d int) (int, int) {
+	x, y := 0, 0
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}

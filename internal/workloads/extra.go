@@ -7,15 +7,12 @@ import (
 
 // The additional applications that appear only in the Figure 3 reuse
 // quantification (the paper quantifies 33 applications but evaluates 23
-// of them). They are built from four generic pattern generators —
+// of them; this reproduction additionally promotes COR — see
+// correlation.go — to a full Table 2 characterization). They are built from four generic pattern generators —
 // stencil, shared-table, strided-butterfly and random-gather — with
 // per-application parameters that set their inter-/intra-CTA reuse mix.
 
 func init() {
-	register("COR", func() *App {
-		return rankK("COR", "correlation (PolyBench)", false,
-			Regs{20, 24, 22, 25}, Regs{2, 2, 8, 8})
-	})
 	register("GES", func() *App {
 		return columnWalk("GES", "gesummv (PolyBench summed matrix-vector)",
 			48, 4, 192, Regs{15, 18, 18, 21}, Regs{1, 1, 2, 2})

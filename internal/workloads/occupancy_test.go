@@ -27,6 +27,7 @@ var table2CTAs = map[string][4]int{
 	"NBO": {2, 4, 6, 6},
 	"3CV": {6, 8, 8, 8},
 	"BC":  {6, 8, 8, 8},
+	"COR": {6, 8, 8, 8},
 	"HST": {6, 8, 8, 8},
 	"BTR": {5, 8, 8, 8},
 	"NW":  {8, 16, 32, 32},
