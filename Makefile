@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke swizzle-smoke docs-check
+.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke swizzle-smoke chiplet-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEpochQuantum -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueueOrder -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheEntry -fuzztime=$(FUZZTIME) ./internal/rescache
+	$(GO) test -run='^$$' -fuzz=FuzzDieBlockBijective -fuzztime=$(FUZZTIME) ./internal/swizzle
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -86,6 +87,16 @@ swizzle-smoke:
 	$(GO) test -race ./internal/swizzle ./internal/eval -run 'Swizzle'
 	$(GO) run -race ./cmd/evaluate -swizzle-compare -apps MM,SGM -arch TeslaK40 -quick > /dev/null
 	$(GO) run -race ./cmd/evaluate -swizzle-compare -apps MM,SGM -arch GTX980 -quick -json > /dev/null
+
+# The chiplet gate the CI enforces: the monolithic-equivalence matrix
+# (Chiplets=0 byte-identical to the seed descriptor at shards 1/2/4/7),
+# the die-aware swizzle and slice/interposer unit walls, and a real
+# 2-die clustering-vs-dieblock comparison smoke through the evaluate
+# binary, all under the race detector.
+chiplet-smoke:
+	$(GO) test -race -run 'Chiplet|DieBlock|DieOf' ./internal/arch ./internal/mem ./internal/swizzle ./internal/engine
+	$(GO) run -race ./cmd/evaluate -chiplet 2 -chiplet-compare -apps MM,NW -arch TeslaK40 > /dev/null
+	$(GO) run -race ./cmd/evaluate -chiplet 2 -chiplet-compare -apps MM -arch GTX980 -json > /dev/null
 
 # The docs gate the CI enforces: every internal/* and cmd/* package must
 # carry a package-level doc comment, and every flag that README.md or

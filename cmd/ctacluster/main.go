@@ -12,6 +12,7 @@
 //	ctacluster -app MM -shards 4
 //	ctacluster -app MM -shards 4 -quantum 1
 //	ctacluster -app MM -swizzle xor
+//	ctacluster -app MM -chiplet 2
 //	ctacluster -list
 //
 // Unknown -app or -arch names exit non-zero with the known names on
@@ -25,7 +26,9 @@
 // serial engine's at every setting. -swizzle applies a CTA tile swizzle
 // (internal/swizzle) under the analysis and both reported runs — the
 // framework then categorizes and transforms the swizzled rasterization;
-// unlike the execution knobs it changes the measured results.
+// unlike the execution knobs it changes the measured results. -chiplet N
+// runs everything on the N-die chiplet variant of the platform
+// (arch.WithChiplets, DESIGN.md §13); 0 keeps the monolithic model.
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 	all := flag.Bool("all", false, "categorize every Table 2 app and score against ground truth")
 	execFlags := cli.RegisterSweepFlags()
 	swizzleFlag := cli.RegisterSwizzleFlag()
+	chipletFlag := cli.RegisterChipletFlag()
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (ctad /v1/optimize schema); requires -app")
 	flag.Parse()
 
@@ -76,6 +80,9 @@ func main() {
 	if *all {
 		ar, err := cli.Platform(*archName)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if ar, err = cli.ChipletOne(*chipletFlag, ar); err != nil {
 			log.Fatal(err)
 		}
 		acc, err := eval.EvaluateFramework(ar, workloads.Table2(), eval.Options{Parallelism: exec.Parallelism, Shards: shards, EpochQuantum: quantum})
@@ -113,6 +120,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if ar, err = cli.ChipletOne(*chipletFlag, ar); err != nil {
+		log.Fatal(err)
+	}
 	app, err := cli.App(*appName)
 	if err != nil {
 		log.Fatal(err)
@@ -121,9 +131,11 @@ func main() {
 	// The swizzle wraps underneath the framework: analysis, transform
 	// and both reported runs all see the swizzled rasterization, so the
 	// before/after comparison isolates what clustering adds on top.
+	// WrapFor: the die-aware family needs the (possibly chiplet)
+	// platform descriptor.
 	var k kernel.Kernel = app
 	if swz != "" {
-		if k, err = swizzle.Wrap(swz, app); err != nil {
+		if k, err = swizzle.WrapFor(swz, app, ar); err != nil {
 			log.Fatal(err)
 		}
 	}

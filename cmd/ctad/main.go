@@ -14,6 +14,7 @@
 //	ctad -cache-mb 256            # larger result cache
 //	ctad -cache-dir /var/ctad     # persistent result cache (survives restarts)
 //	ctad -swizzle xor             # default CTA tile swizzle for every request
+//	ctad -chiplet 2               # serve the 2-die chiplet model by default
 //
 // -shards sets the default engine.Config.Shards for every simulation
 // the daemon runs (simulate requests may override it per request),
@@ -24,7 +25,11 @@
 // CTA tile swizzle (internal/swizzle) applied to every kernel the
 // daemon simulates (requests carrying their own swizzle field override
 // it); unlike the execution knobs it is result-affecting, so the
-// resolved value is a full cache-key field.
+// resolved value is a full cache-key field. -chiplet sets the default
+// die count of the multi-chiplet architecture model (arch.WithChiplets;
+// requests carrying their own chiplets field override it); also
+// result-affecting — the derived descriptor's fields enter every cache
+// key.
 //
 // -cache-dir adds a durable content-addressed tier under the in-memory
 // LRU: every computed response is written atomically (tmp + fsync +
@@ -68,6 +73,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "result cache entry bound")
 	cacheDir := cli.RegisterCacheDirFlag()
 	swizzleFlag := cli.RegisterSwizzleFlag()
+	chipletFlag := cli.RegisterChipletFlag()
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Minute, "clamp on client-requested deadlines")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain period for in-flight requests")
@@ -82,6 +88,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *chipletFlag != 0 && (*chipletFlag < 2 || *chipletFlag > 8) {
+		log.Fatalf("-chiplet must be 0 (monolithic) or 2-8 dies, got %d", *chipletFlag)
+	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxQueue:       *maxQueue,
@@ -89,6 +98,7 @@ func main() {
 		Shards:         exec.Shards,
 		EpochQuantum:   exec.Quantum,
 		Swizzle:        swz,
+		Chiplets:       *chipletFlag,
 		CacheBytes:     *cacheMB << 20,
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,

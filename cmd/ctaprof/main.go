@@ -15,6 +15,7 @@
 //	ctaprof -app mm -arch teslak40 -o /tmp/prof -interval 1024
 //	ctaprof -app mm -arch teslak40 -shards 4        # sharded engine, same bytes
 //	ctaprof -app mm -arch teslak40 -swizzle xor     # profile the swizzled kernel
+//	ctaprof -app mm -arch teslak40 -chiplet 2       # profile on the 2-die variant
 //
 // App and platform names match case-insensitively; unknown names are an
 // error (non-zero exit), never a silent skip. -shards parallelizes the
@@ -23,7 +24,11 @@
 // 0 = auto-derive); the recorded trace and metrics are byte-identical
 // to the serial engine's at every setting. -swizzle applies a CTA tile
 // swizzle (internal/swizzle) under the chosen scheme; unlike the
-// execution knobs it changes the recorded trace and metrics.
+// execution knobs it changes the recorded trace and metrics. -chiplet N
+// profiles on the N-die chiplet variant of the platform
+// (arch.WithChiplets); the trace then marks interposer-crossing L2
+// transactions and the metrics CSV gains the remote_l2_transactions and
+// interposer_bytes rows.
 package main
 
 import (
@@ -56,10 +61,14 @@ func main() {
 	outDir := flag.String("o", ".", "output directory for the trace and metrics files")
 	execFlags := cli.RegisterEngineFlags()
 	swizzleFlag := cli.RegisterSwizzleFlag()
+	chipletFlag := cli.RegisterChipletFlag()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if ar, err = cli.ChipletOne(*chipletFlag, ar); err != nil {
 		log.Fatal(err)
 	}
 	app, err := cli.App(*appName)
@@ -77,9 +86,10 @@ func main() {
 	}
 	// The swizzle wraps underneath the scheme, mirroring the evaluation:
 	// BSL profiles the pure swizzled kernel, RD/CLU the transform over it.
+	// WrapFor hands the die-aware family the platform descriptor.
 	var k kernel.Kernel = app
 	if swz != "" {
-		if k, err = swizzle.Wrap(swz, app); err != nil {
+		if k, err = swizzle.WrapFor(swz, app, ar); err != nil {
 			log.Fatal(err)
 		}
 	}

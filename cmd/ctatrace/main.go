@@ -13,6 +13,7 @@
 //	ctatrace -app ATX -arch GTX570 -sm 0      # one SM's timeline
 //	ctatrace -app ATX -arch GTX570 -shards 4  # sharded engine, same trace
 //	ctatrace -app ATX -arch GTX570 -swizzle xor # trace the swizzled placement
+//	ctatrace -app ATX -arch GTX570 -chiplet 2   # trace on the 2-die variant
 //
 // -shards parallelizes the simulation itself (engine.Config.Shards) and
 // -quantum sets the sharded engine's barrier window in cycles
@@ -20,6 +21,8 @@
 // byte-identical to the serial engine's at every setting. -swizzle
 // applies a CTA tile swizzle (internal/swizzle) under the traced kernel
 // — baseline or clustered — and changes the placement it prints.
+// -chiplet N traces on the N-die chiplet variant of the platform
+// (arch.WithChiplets); 0 keeps the monolithic model.
 package main
 
 import (
@@ -44,10 +47,14 @@ func main() {
 	smID := flag.Int("sm", -1, "print the per-CTA timeline of one SM (-1: summary of all)")
 	execFlags := cli.RegisterEngineFlags()
 	swizzleFlag := cli.RegisterSwizzleFlag()
+	chipletFlag := cli.RegisterChipletFlag()
 	flag.Parse()
 
 	ar, err := cli.Platform(*archName)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if ar, err = cli.ChipletOne(*chipletFlag, ar); err != nil {
 		log.Fatal(err)
 	}
 	app, err := cli.App(*appName)
@@ -59,10 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The swizzle wraps underneath clustering, mirroring the evaluation.
+	// The swizzle wraps underneath clustering, mirroring the evaluation;
+	// WrapFor hands the die-aware family the platform descriptor.
 	var k kernel.Kernel = app
 	if swz != "" {
-		if k, err = swizzle.Wrap(swz, app); err != nil {
+		if k, err = swizzle.WrapFor(swz, app, ar); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -15,6 +15,8 @@
 //	evaluate -shards 4 -quantum 1 # sharded, barrier every timestamp
 //	evaluate -swizzle xor        # CTA tile swizzle under every scheme
 //	evaluate -swizzle-compare    # clustering vs swizzling vs both
+//	evaluate -chiplet 2          # sweep on 2-die chiplet variants
+//	evaluate -chiplet 2 -chiplet-compare # placement study on chiplet GPUs
 //	evaluate -json               # machine-readable output (ctad schema)
 //
 // Unknown -arch or -apps names are an error (non-zero exit), never a
@@ -33,6 +35,16 @@
 // scores the L2 reuse analyzer's predicted-best swizzle against the
 // measured L2 read transactions; with -json it emits one
 // api.SwizzleCompareResponse document (the BENCH_swizzle.json schema).
+//
+// -chiplet N splits every selected platform into N interposer-linked
+// dies (arch.WithChiplets, DESIGN.md §13) before any sweep or
+// comparison; 0 (the default) keeps the monolithic Table 1 models,
+// byte-identical to an engine without the chiplet code. With
+// -chiplet-compare (which requires -chiplet >= 2) it runs the four-way
+// placement study — BSL, CLU, SWZ(dieblock), CLU+SWZ(dieblock) — per
+// (app, arch) cell and reports cycles next to the interposer counters;
+// with -json that emits one api.ChipletCompareResponse document (the
+// BENCH_chiplet.json schema).
 //
 // -json renders the internal/api response structs the ctad daemon
 // serves, so scripts can consume CLI and HTTP output with one decoder:
@@ -67,7 +79,9 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	execFlags := cli.RegisterSweepFlags()
 	swizzleFlag := cli.RegisterSwizzleFlag()
+	chipletFlag := cli.RegisterChipletFlag()
 	swizzleCompare := flag.Bool("swizzle-compare", false, "run the clustering-vs-swizzling-vs-both comparison instead of the scheme sweep")
+	chipletCompare := flag.Bool("chiplet-compare", false, "run the chiplet placement comparison (requires -chiplet >= 2) instead of the scheme sweep")
 	jsonOut := flag.Bool("json", false, "emit JSON in the ctad daemon's response schema")
 	verbose := flag.Bool("v", false, "print per-app progress")
 	flag.Parse()
@@ -112,6 +126,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	platforms, err = cli.Chiplet(*chipletFlag, platforms)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	progress := func(string) {}
 	if *verbose {
@@ -119,6 +137,38 @@ func main() {
 	}
 
 	opt := eval.Options{Quick: *quick, Parallelism: exec.Parallelism, Shards: exec.Shards, EpochQuantum: exec.Quantum, Swizzle: swz}
+
+	if *chipletCompare {
+		if *chipletFlag == 0 {
+			log.Fatal("-chiplet-compare needs a chiplet model; add -chiplet N (2-8 dies)")
+		}
+		if swz != "" {
+			log.Fatal("-chiplet-compare applies the die-aware swizzle itself; do not combine it with -swizzle")
+		}
+		if *swizzleCompare {
+			log.Fatal("-chiplet-compare and -swizzle-compare are separate studies; pick one")
+		}
+		comparisons, err := eval.CompareChipletMatrix(platforms, apps, opt, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			if err := api.Encode(os.Stdout, api.ChipletCompareResponseFrom(comparisons)); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		for _, c := range comparisons {
+			fmt.Printf("%s on %s (%d dies): best %s\n", c.App.Name(), c.Arch.Name, c.Arch.Chiplets, c.Best)
+			for _, cell := range c.Cells {
+				fmt.Printf("  %-18s %8d cycles  %.2fx  L2 txn %8d  remote %6d (%.0f%%)  interposer %8d B  L1 hit %.2f\n",
+					cell.Label, cell.Cycles, cell.Speedup, cell.L2Txn,
+					cell.RemoteTxn, 100*cell.RemoteFrac, cell.InterposerBytes, cell.L1Hit)
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	if *swizzleCompare {
 		if swz != "" {

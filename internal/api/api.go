@@ -49,6 +49,11 @@ type SimulateRequest struct {
 	// cycle count — so it is a full cache-key field. Empty means the
 	// daemon's configured default (normally none).
 	Swizzle string `json:"swizzle,omitempty"`
+	// Chiplets splits the platform into that many interposer-linked dies
+	// (arch.WithChiplets, DESIGN.md §13) before simulating; 0 means the
+	// daemon's configured default (normally monolithic). Result-affecting
+	// like Swizzle: the derived descriptor's fields enter the cache key.
+	Chiplets int `json:"chiplets,omitempty"`
 }
 
 // MetricRow is one nvprof-style counter (internal/prof names).
@@ -86,6 +91,10 @@ type SweepRequest struct {
 	// Swizzle applies the named CTA tile swizzle under every scheme of
 	// the sweep (result-affecting, part of the sweep cache key).
 	Swizzle string `json:"swizzle,omitempty"`
+	// Chiplets runs the sweep on the chiplet variant of every selected
+	// platform (arch.WithChiplets); 0 keeps the monolithic Table 1
+	// models. Result-affecting, part of the sweep cache key.
+	Chiplets int `json:"chiplets,omitempty"`
 }
 
 // SweepCell is one scheme's outcome for one app (eval.Cell).
@@ -312,4 +321,44 @@ type SwizzleComparison struct {
 // emits (BENCH_swizzle.json), arch-major in request order.
 type SwizzleCompareResponse struct {
 	Comparisons []SwizzleComparison `json:"comparisons"`
+}
+
+// ChipletCellResult is one mode of the chiplet placement comparison on
+// one (app, chiplet-arch) cell: cycles next to the interposer counters
+// that show whether the mode kept sharers on one die.
+type ChipletCellResult struct {
+	// Label identifies the mode: "BSL", "CLU", "SWZ(dieblock)" or
+	// "CLU+SWZ(dieblock)".
+	Label     string  `json:"label"`
+	Cycles    int64   `json:"cycles"`
+	Speedup   float64 `json:"speedup"`
+	L2ReadTxn uint64  `json:"l2_read_txn"`
+	// RemoteL2Txn counts L2-slice read misses homed on another die's
+	// HBM stack; RemoteFrac normalizes by DRAM reads (0 = every miss
+	// die-local, (D-1)/D = placement-oblivious expectation on D dies).
+	RemoteL2Txn uint64  `json:"remote_l2_txn"`
+	RemoteFrac  float64 `json:"remote_frac"`
+	// InterposerBytes is the cross-die fill traffic.
+	InterposerBytes uint64  `json:"interposer_bytes"`
+	L1HitRate       float64 `json:"l1_hit_rate"`
+}
+
+// ChipletComparison is the four-way comparison for one
+// (app, chiplet-arch) cell of the matrix.
+type ChipletComparison struct {
+	App string `json:"app"`
+	// Arch is the derived chiplet descriptor name (e.g. "TeslaK40@2die")
+	// and Chiplets its die count.
+	Arch     string              `json:"arch"`
+	Chiplets int                 `json:"chiplets"`
+	Cells    []ChipletCellResult `json:"cells"`
+	// Best names the fastest cell (ties break toward BSL, so a dead
+	// heat reads as "clustering does not help here").
+	Best string `json:"best"`
+}
+
+// ChipletCompareResponse is the matrix `evaluate -chiplet-compare`
+// emits (BENCH_chiplet.json), arch-major in request order.
+type ChipletCompareResponse struct {
+	Comparisons []ChipletComparison `json:"comparisons"`
 }

@@ -151,6 +151,34 @@ func SwizzleCompareResponseFrom(comparisons []*eval.SwizzleComparison) SwizzleCo
 	return out
 }
 
+// ChipletCompareResponseFrom converts the chiplet placement matrix
+// into the BENCH_chiplet.json schema.
+func ChipletCompareResponseFrom(comparisons []*eval.ChipletComparison) ChipletCompareResponse {
+	out := ChipletCompareResponse{Comparisons: make([]ChipletComparison, 0, len(comparisons))}
+	for _, c := range comparisons {
+		cc := ChipletComparison{
+			App:      c.App.Name(),
+			Arch:     c.Arch.Name,
+			Chiplets: c.Arch.Chiplets,
+			Best:     c.Best,
+		}
+		for _, cell := range c.Cells {
+			cc.Cells = append(cc.Cells, ChipletCellResult{
+				Label:           cell.Label,
+				Cycles:          cell.Cycles,
+				Speedup:         cell.Speedup,
+				L2ReadTxn:       cell.L2Txn,
+				RemoteL2Txn:     cell.RemoteTxn,
+				RemoteFrac:      cell.RemoteFrac,
+				InterposerBytes: cell.InterposerBytes,
+				L1HitRate:       cell.L1Hit,
+			})
+		}
+		out.Comparisons = append(out.Comparisons, cc)
+	}
+	return out
+}
+
 // TableResponseFrom converts a report table.
 func TableResponseFrom(t *report.Table) TableResponse {
 	return TableResponse{Title: t.Title, Header: t.Header, Rows: t.Rows}

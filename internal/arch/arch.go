@@ -116,6 +116,30 @@ type Arch struct {
 	// warp-slot-id SM-based binding of Section 4.2.3-(B); Maxwell and
 	// Pascal bind dynamically and need a global atomic instead.
 	StaticWarpSlotBinding bool
+
+	// Chiplets splits the GPU into that many dies connected by an
+	// interposer (chiplet.go): SMs map to dies in contiguous blocks
+	// (DieOf), each die gets an L2 slice of L2Size/Chiplets bytes
+	// caching its own SMs' requests, and HBM is page-interleaved across
+	// the dies' stacks — a slice miss homed on another die pays
+	// RemoteHopLatency extra cycles and occupies its die's interposer
+	// link (internal/mem). 0 (and 1) is the monolithic model of the
+	// paper's Table 1 platforms — byte-identical to a descriptor
+	// without these fields. The regime is the one arXiv 2606.11716
+	// targets: multi-chiplet GPUs where CTA placement decides local vs
+	// remote memory traffic.
+	Chiplets int
+	// RemoteHopLatency is the extra load-to-use latency, in SM cycles,
+	// of a fill serviced by a remote die's HBM stack (the round trip
+	// over the interposer, both crossings included). Meaningful only
+	// when Chiplets > 1; see DESIGN.md §13 for the derivation from the
+	// monolithic latency table.
+	RemoteHopLatency int
+	// InterposerInterval is the number of cycles one cross-die 32B
+	// transaction occupies its source die's interposer link — the
+	// bandwidth penalty of the die-to-die interconnect relative to the
+	// on-die NoC. Meaningful only when Chiplets > 1.
+	InterposerInterval int
 }
 
 // KB is a byte-count helper for descriptor literals.

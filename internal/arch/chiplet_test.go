@@ -1,0 +1,148 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWithChipletsDerivation pins the derived chiplet descriptor for
+// the reference platform: the die count, the hop latency derived as
+// L2Latency/4 (65 cycles on TeslaK40 — inside the 45-80-cycle window
+// published for interposer crossings, DESIGN.md §13), the half-bandwidth
+// interposer interval 2*DRAMInterval, and the @Ndie name suffix. Every
+// other field must be untouched.
+func TestWithChipletsDerivation(t *testing.T) {
+	base := TeslaK40()
+	c, err := WithChiplets(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "TeslaK40@2die" {
+		t.Errorf("Name = %q, want TeslaK40@2die", c.Name)
+	}
+	if c.Chiplets != 2 {
+		t.Errorf("Chiplets = %d, want 2", c.Chiplets)
+	}
+	if want := base.L2Latency / 4; c.RemoteHopLatency != want {
+		t.Errorf("RemoteHopLatency = %d, want %d (L2Latency/4)", c.RemoteHopLatency, want)
+	}
+	if want := 2 * base.DRAMInterval; c.InterposerInterval != want {
+		t.Errorf("InterposerInterval = %d, want %d (2*DRAMInterval)", c.InterposerInterval, want)
+	}
+	// Everything else identical: zero the derived fields and compare.
+	probe := *c
+	probe.Name = base.Name
+	probe.Chiplets = 0
+	probe.RemoteHopLatency = 0
+	probe.InterposerInterval = 0
+	if probe != *base {
+		t.Errorf("WithChiplets changed a non-chiplet field:\n got %+v\nwant %+v", probe, *base)
+	}
+	if base.Chiplets != 0 || base.Name != "TeslaK40" {
+		t.Error("WithChiplets mutated its input descriptor")
+	}
+}
+
+// TestWithChipletsZeroIsCopy pins the monolithic escape hatch: 0 dies
+// returns an unmodified copy, so `-chiplet 0` is byte-identical to no
+// flag at all.
+func TestWithChipletsZeroIsCopy(t *testing.T) {
+	base := GTX980()
+	c, err := WithChiplets(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *c != *base {
+		t.Errorf("WithChiplets(_, 0) = %+v, want a verbatim copy of %+v", *c, *base)
+	}
+	if c == base {
+		t.Error("WithChiplets(_, 0) returned the input pointer; callers may mutate the copy")
+	}
+}
+
+// TestWithChipletsErrors pins every rejection: negative counts, the
+// ambiguous 1-die spelling, counts beyond MaxChiplets or the SM count,
+// and re-deriving an already-chiplet descriptor.
+func TestWithChipletsErrors(t *testing.T) {
+	two, err := WithChiplets(TeslaK40(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		a    *Arch
+		dies int
+		want string
+	}{
+		{"negative", TeslaK40(), -1, "must be >= 0"},
+		{"one", TeslaK40(), 1, "monolithic model"},
+		{"beyond max", TeslaK40(), MaxChiplets + 1, "at most"},
+		{"beyond SMs", GTX750Ti(), 6, "exceed"},
+		{"already chiplet", two, 2, "already a chiplet descriptor"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := WithChiplets(c.a, c.dies); err == nil {
+				t.Fatalf("WithChiplets(%s, %d) succeeded, want error containing %q", c.a.Name, c.dies, c.want)
+			} else if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %q, want it to contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestDieOfPartition pins the SM→die map: contiguous blocks of
+// ceil(SMs/Chiplets) SMs, every SM assigned, every die non-empty, and
+// DieSMs consistent with the per-die population. TeslaK40's 15 SMs on
+// 2 dies is the uneven case (8+7).
+func TestDieOfPartition(t *testing.T) {
+	for _, dies := range []int{2, 3, 4, 5} {
+		a, err := WithChiplets(TeslaK40(), dies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := make([]int, dies)
+		prev := 0
+		for sm := 0; sm < a.SMs; sm++ {
+			d := a.DieOf(sm)
+			if d < 0 || d >= dies {
+				t.Fatalf("dies=%d: DieOf(%d) = %d out of range", dies, sm, d)
+			}
+			if d < prev {
+				t.Fatalf("dies=%d: DieOf is not monotone at SM %d (%d after %d) — dies must be contiguous SM blocks", dies, sm, d, prev)
+			}
+			prev = d
+			count[d]++
+		}
+		for d := 0; d < dies; d++ {
+			if count[d] == 0 {
+				t.Errorf("dies=%d: die %d has no SMs", dies, d)
+			}
+			if got := a.DieSMs(d); got != count[d] {
+				t.Errorf("dies=%d: DieSMs(%d) = %d, want %d (the DieOf population)", dies, d, got, count[d])
+			}
+		}
+	}
+	// The uneven reference split.
+	a, err := WithChiplets(TeslaK40(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DieSMs(0) != 8 || a.DieSMs(1) != 7 {
+		t.Errorf("TeslaK40@2die split = %d+%d, want 8+7", a.DieSMs(0), a.DieSMs(1))
+	}
+}
+
+// TestDieOfMonolithic pins the degenerate map: every SM is die 0 on a
+// monolithic descriptor, so shared code can call DieOf unconditionally.
+func TestDieOfMonolithic(t *testing.T) {
+	a := TeslaK40()
+	for sm := 0; sm < a.SMs; sm++ {
+		if d := a.DieOf(sm); d != 0 {
+			t.Fatalf("monolithic DieOf(%d) = %d, want 0", sm, d)
+		}
+	}
+	if a.IsChiplet() {
+		t.Error("monolithic descriptor reports IsChiplet")
+	}
+}

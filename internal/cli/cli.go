@@ -93,12 +93,42 @@ func Swizzle(name string) (string, error) {
 	if strings.TrimSpace(name) == "" {
 		return "", nil
 	}
-	for _, n := range swizzle.Names() {
+	for _, n := range swizzle.AllNames() {
 		if strings.EqualFold(n, name) {
 			return n, nil
 		}
 	}
-	return "", fmt.Errorf("unknown swizzle %q (known: %s)", name, strings.Join(swizzle.Names(), ", "))
+	return "", fmt.Errorf("unknown swizzle %q (known: %s)", name, strings.Join(swizzle.AllNames(), ", "))
+}
+
+// Chiplet resolves the -chiplet flag: the number of dies to split the
+// selected platform(s) into (arch.WithChiplets). 0 — the flag default —
+// keeps the monolithic Table 1 model; values >= 2 derive the chiplet
+// variant; range errors (negative, 1, beyond arch.MaxChiplets or the
+// SM count) surface arch's own messages so every CLI fails identically.
+func Chiplet(n int, platforms []*arch.Arch) ([]*arch.Arch, error) {
+	if n == 0 {
+		return platforms, nil
+	}
+	out := make([]*arch.Arch, len(platforms))
+	for i, a := range platforms {
+		c, err := arch.WithChiplets(a, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// ChipletOne is Chiplet for the single-platform CLIs (ctacluster,
+// ctatrace, ctaprof): 0 passes the monolithic descriptor through
+// unchanged, >= 2 derives its chiplet variant.
+func ChipletOne(n int, a *arch.Arch) (*arch.Arch, error) {
+	if n == 0 {
+		return a, nil
+	}
+	return arch.WithChiplets(a, n)
 }
 
 // Parallelism resolves the -parallel flag: 0 means one worker per

@@ -175,7 +175,7 @@ func TestSwizzle(t *testing.T) {
 	if err == nil {
 		t.Fatal("Swizzle(bogus) succeeded")
 	}
-	const want = `unknown swizzle "bogus" (known: groupcol, hilbert, identity, xor)`
+	const want = `unknown swizzle "bogus" (known: dieblock, groupcol, hilbert, identity, xor)`
 	if err.Error() != want {
 		t.Fatalf("Swizzle(bogus) error = %q, want %q", err, want)
 	}

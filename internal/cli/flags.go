@@ -85,7 +85,19 @@ func (f *ExecFlags) Resolve() (Exec, error) {
 // changes cache statistics and cycle counts — so its value enters
 // result-cache keys. Resolve the parsed value with Swizzle.
 func RegisterSwizzleFlag() *string {
-	return flag.String("swizzle", "", "CTA tile swizzle applied before any transform: "+strings.Join(swizzle.Names(), ", ")+" (empty = none)")
+	return flag.String("swizzle", "", "CTA tile swizzle applied before any transform: "+strings.Join(swizzle.AllNames(), ", ")+" (empty = none)")
+}
+
+// RegisterChipletFlag registers -chiplet, the die count of the
+// multi-chiplet architecture model (arch.WithChiplets): 0 — the default
+// — is the monolithic Table 1 model, byte-identical to an engine
+// without the chiplet code; >= 2 splits every selected platform into
+// that many dies with derived interposer penalties (DESIGN.md §13).
+// Result-affecting like -swizzle: the derived descriptor enters
+// result-cache keys through its arch fields. Resolve the parsed value
+// with Chiplet.
+func RegisterChipletFlag() *int {
+	return flag.Int("chiplet", 0, "split each platform into N interposer-linked dies (0 = monolithic, 2-8 = chiplet model)")
 }
 
 // RegisterCacheDirFlag registers -cache-dir, the persistent

@@ -24,27 +24,40 @@ import (
 // to a few dozen allocations.
 var allocBudgets = []struct {
 	app      string
+	chiplets int // 0 = monolithic TeslaK40; N = WithChiplets variant
 	shards   int
 	profiled bool
 	budget   float64
 }{
-	{"MM", 1, false, 13400},
-	{"MM", 1, true, 13450},
-	{"MM", 4, false, 18050},
-	{"MM", 4, true, 18250},
-	{"SGM", 1, false, 7700},
-	{"SGM", 1, true, 7750},
-	{"SGM", 4, false, 10450},
-	{"SGM", 4, true, 10600},
+	{"MM", 0, 1, false, 13400},
+	{"MM", 0, 1, true, 13450},
+	{"MM", 0, 4, false, 18050},
+	{"MM", 0, 4, true, 18250},
+	{"SGM", 0, 1, false, 7700},
+	{"SGM", 0, 1, true, 7750},
+	{"SGM", 0, 4, false, 10450},
+	{"SGM", 0, 4, true, 10600},
+	// The chiplet path: per-die slices replace the monolithic L2, and
+	// everything else must stay on the diet — the slice array and link
+	// table are setup-time allocations, not per-event ones.
+	{"MM", 2, 1, false, 13100},
+	{"MM", 2, 4, false, 17450},
 }
 
 func TestAllocationBudgets(t *testing.T) {
 	if raceEnabled || testing.Short() {
 		t.Skip("allocation counts are only meaningful uninstrumented")
 	}
-	ar := arch.TeslaK40()
 	for _, c := range allocBudgets {
+		ar := arch.TeslaK40()
 		name := c.app
+		if c.chiplets > 0 {
+			var err error
+			if ar, err = arch.WithChiplets(ar, c.chiplets); err != nil {
+				t.Fatal(err)
+			}
+			name += "/2die"
+		}
 		if c.shards == 1 {
 			name += "/serial"
 		} else {

@@ -1,0 +1,231 @@
+package engine_test
+
+// The chiplet differential wall. Two contracts, two matrices:
+//
+//  1. Monolithic equivalence — arch.WithChiplets(ar, 0) must be
+//     byte-identical to the untouched descriptor at every shard count:
+//     deep-equal Results, identical rescache keys, and a byte-identical
+//     profiler stream. This pins the tentpole's "0 dies = the seed
+//     engine" clause: the chiplet code may not perturb the monolithic
+//     model by even one cycle.
+//
+//  2. Sharded-chiplet determinism — on a real chiplet descriptor the
+//     sharded engine must reproduce the serial Result and prof stream
+//     exactly, for plain, die-swizzled and clustered kernels. The
+//     interposer-link and slice state are engine-replayed like every
+//     other memory structure; this matrix is where a divergence would
+//     surface.
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/arch"
+	"ctacluster/internal/core"
+	"ctacluster/internal/engine"
+	"ctacluster/internal/kernel"
+	"ctacluster/internal/prof"
+	"ctacluster/internal/rescache"
+	"ctacluster/internal/swizzle"
+	"ctacluster/internal/workloads"
+)
+
+// chipletOf derives a chiplet variant or fails the test.
+func chipletOf(t *testing.T, base *arch.Arch, dies int) *arch.Arch {
+	t.Helper()
+	a, err := arch.WithChiplets(base, dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// chipletEquivShards is the monolithic-equivalence shard matrix: the
+// serial engine, even splits, and the odd non-divisor count.
+var chipletEquivShards = []int{1, 2, 4, 7}
+
+// TestChipletZeroMonolithicEquivalence is the byte-identity golden:
+// WithChiplets(ar, 0) against the untouched descriptor, at every shard
+// count, comparing the full Result, the rescache key and a full-mask
+// profiler stream.
+func TestChipletZeroMonolithicEquivalence(t *testing.T) {
+	apps := []string{"MM", "ATX"}
+	arches := []*arch.Arch{arch.TeslaK40(), arch.GTX980()}
+	if raceEnabled || testing.Short() {
+		apps = apps[:1]
+		arches = arches[:1]
+	}
+	for _, ar := range arches {
+		zero := chipletOf(t, ar, 0)
+		if *zero != *ar {
+			t.Fatalf("%s: WithChiplets(_, 0) changed the descriptor", ar.Name)
+		}
+		for _, name := range apps {
+			app, err := workloads.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range chipletEquivShards {
+				run := func(a *arch.Arch) (*engine.Result, *prof.Trace) {
+					tr := prof.NewTrace(prof.TraceConfig{
+						Kernel: name, Arch: a.Name, SMs: a.SMs,
+						Events: prof.MaskAll, SampleInterval: 5000,
+					})
+					cfg := engine.DefaultConfig(a)
+					cfg.Shards = shards
+					cfg.Profiler = tr
+					res, err := engine.Run(cfg, app)
+					if err != nil {
+						t.Fatalf("%s/%s shards=%d: %v", name, a.Name, shards, err)
+					}
+					return res, tr
+				}
+				base, baseTr := run(ar)
+				got, gotTr := run(zero)
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s/%s shards=%d: Chiplets=0 result differs from monolithic (cycles %d vs %d)",
+						name, ar.Name, shards, base.Cycles, got.Cycles)
+				}
+				if !reflect.DeepEqual(baseTr.Events(), gotTr.Events()) ||
+					!reflect.DeepEqual(baseTr.Snapshots(), gotTr.Snapshots()) {
+					t.Errorf("%s/%s shards=%d: Chiplets=0 prof stream differs from monolithic",
+						name, ar.Name, shards)
+				}
+				cfg := engine.DefaultConfig(ar)
+				zcfg := engine.DefaultConfig(zero)
+				if rescache.ConfigKey("x", "", cfg) != rescache.ConfigKey("x", "", zcfg) {
+					t.Errorf("%s: Chiplets=0 rescache key differs from monolithic — cache entries would fragment", ar.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestChipletShardedMatchesSerial is the determinism matrix on a real
+// chiplet descriptor: plain, die-swizzled and agent-clustered kernels
+// at every shard count must deep-equal the serial oracle — the
+// interposer counters included (they ride in Result.Mem).
+func TestChipletShardedMatchesSerial(t *testing.T) {
+	ar := chipletOf(t, arch.TeslaK40(), 2)
+	apps := []string{"MM", "NW"}
+	if raceEnabled || testing.Short() {
+		apps = apps[:1]
+	}
+	shardCounts := []int{2, 4, 7}
+	if raceEnabled || testing.Short() {
+		shardCounts = []int{2, 7}
+	}
+	for _, name := range apps {
+		app, err := workloads.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swz, err := swizzle.WrapFor("dieblock", app, ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu, err := core.NewAgent(app, core.AgentConfig{Arch: ar, Indexing: app.Partition()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []kernel.Kernel{app, swz, clu} {
+			cfg := engine.DefaultConfig(ar)
+			serial, err := engine.Run(cfg, k)
+			if err != nil {
+				t.Fatalf("%s serial: %v", k.Name(), err)
+			}
+			if serial.Mem.RemoteL2Transactions == 0 {
+				t.Errorf("%s on %s: zero remote transactions — the chiplet model is not engaged", k.Name(), ar.Name)
+			}
+			for _, n := range shardCounts {
+				cfg := engine.DefaultConfig(ar)
+				cfg.Shards = n
+				got, err := engine.Run(cfg, k)
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", k.Name(), n, err)
+				}
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s on %s: shards=%d differs from serial (cycles %d vs %d, remote txns %d vs %d)",
+						k.Name(), ar.Name, n, serial.Cycles, got.Cycles,
+						serial.Mem.RemoteL2Transactions, got.Mem.RemoteL2Transactions)
+				}
+			}
+		}
+	}
+}
+
+// TestChipletShardedProfStreamByteIdentical extends the prof-stream
+// contract to the chiplet path: the merged sharded stream — Remote
+// flags on EvL2Transaction events included — must match the serial one
+// exactly on a 2-die descriptor.
+func TestChipletShardedProfStreamByteIdentical(t *testing.T) {
+	ar := chipletOf(t, arch.TeslaK40(), 2)
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func(shards int) *prof.Trace {
+		tr := prof.NewTrace(prof.TraceConfig{
+			Kernel: app.Name(), Arch: ar.Name, SMs: ar.SMs,
+			Events: prof.MaskAll, SampleInterval: 5000,
+		})
+		cfg := engine.DefaultConfig(ar)
+		cfg.Profiler = tr
+		cfg.Shards = shards
+		if _, err := engine.Run(cfg, app); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return tr
+	}
+	serial := trace(1)
+	var remotes int
+	for _, e := range serial.Events() {
+		if e.Kind == prof.EvL2Transaction && e.Remote {
+			remotes++
+		}
+	}
+	if remotes == 0 {
+		t.Error("no Remote-flagged L2 transaction events on a 2-die run — the observer plumbing is dead")
+	}
+	for _, n := range []int{2, 7} {
+		got := trace(n)
+		if !reflect.DeepEqual(serial.Events(), got.Events()) {
+			t.Errorf("shards=%d chiplet event stream differs (%d vs %d events)", n, len(serial.Events()), len(got.Events()))
+		}
+		if !reflect.DeepEqual(serial.Snapshots(), got.Snapshots()) {
+			t.Errorf("shards=%d chiplet snapshot stream differs", n)
+		}
+	}
+}
+
+// TestChipletDieblockChangesPlacementOnly sanity-checks the study's
+// instrument: on a chiplet descriptor the dieblock swizzle must change
+// the interposer traffic (it exists to move it) while conserving the
+// work multiset — same CTA count, same total L2 read+write transaction
+// volume shape is NOT required, but the grid and CTA records must line
+// up one-to-one.
+func TestChipletDieblockChangesPlacementOnly(t *testing.T) {
+	ar := chipletOf(t, arch.TeslaK40(), 2)
+	app, err := workloads.New("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	swz, err := swizzle.WrapFor("dieblock", app, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := engine.Run(engine.DefaultConfig(ar), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Run(engine.DefaultConfig(ar), swz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.CTAs) != len(base.CTAs) {
+		t.Fatalf("dieblock changed the CTA count: %d vs %d", len(got.CTAs), len(base.CTAs))
+	}
+	if got.Mem.InterposerBytes == base.Mem.InterposerBytes {
+		t.Error("dieblock left interposer traffic exactly unchanged — the remap is not reaching placement")
+	}
+}

@@ -116,6 +116,10 @@ type Result struct {
 	Kernel string
 	Arch   string
 	Cycles int64
+	// Chiplets is the die count of the simulated architecture
+	// (arch.Arch.Chiplets); 0 for the monolithic Table 1 platforms. It
+	// gates the interposer rows in the metrics export (prof.Metrics).
+	Chiplets int
 
 	L1  cache.Stats // aggregated over all SMs
 	Mem mem.Stats
@@ -142,7 +146,7 @@ func (r *Result) L2ReadTransactions() uint64 { return r.Mem.ReadTransactions }
 // internal/prof — the end-of-run counters the nvprof-style CSV renders.
 func (r *Result) ProfMetrics() prof.Metrics {
 	return prof.Metrics{
-		Kernel: r.Kernel, Arch: r.Arch, Cycles: r.Cycles,
+		Kernel: r.Kernel, Arch: r.Arch, Cycles: r.Cycles, Chiplets: r.Chiplets,
 		AchievedOccupancy: r.AchievedOccupancy,
 		L1:                r.L1, L2: r.L2, Mem: r.Mem,
 	}
@@ -374,9 +378,9 @@ func RunContext(ctx context.Context, cfg Config, k kernel.Kernel) (*Result, erro
 		// currently inside the memory system (the token holder on a
 		// sharded run; always lane 0 on the serial path). The closure
 		// is the only profiling allocation, made once per run.
-		s.memsys.SetObserver(func(at int64, smID int, addr uint64, kind mem.TxnKind, l2Hit bool) {
+		s.memsys.SetObserver(func(at int64, smID int, addr uint64, kind mem.TxnKind, l2Hit, remote bool) {
 			s.curLane.emit(prof.Event{
-				Kind: prof.EvL2Transaction, Tag: uint8(kind), Hit: l2Hit,
+				Kind: prof.EvL2Transaction, Tag: uint8(kind), Hit: l2Hit, Remote: remote,
 				Write: kind == mem.TxnWrite, SM: int32(smID), CTA: -1, Warp: -1, Slot: -1,
 				Cycle: at, Addr: addr,
 			})
@@ -427,13 +431,14 @@ func (s *sim) counterSnapshot(at int64) prof.Snapshot {
 
 func (s *sim) result() *Result {
 	res := &Result{
-		Kernel: s.kern.Name(),
-		Arch:   s.ar.Name,
-		Cycles: s.now,
-		Mem:    s.memsys.Stats(),
-		L2:     s.memsys.L2Stats(),
-		CTAs:   s.records,
-		PerSM:  s.perSM,
+		Kernel:   s.kern.Name(),
+		Arch:     s.ar.Name,
+		Cycles:   s.now,
+		Chiplets: s.ar.Chiplets,
+		Mem:      s.memsys.Stats(),
+		L2:       s.memsys.L2Stats(),
+		CTAs:     s.records,
+		PerSM:    s.perSM,
 	}
 	res.L1PerSM = make([]cache.Stats, len(s.sms))
 	for i, sm := range s.sms {

@@ -8,7 +8,14 @@ import "ctacluster/internal/arch"
 // property test in quantum_internal_test.go fails until someone decides
 // whether the new field is a cross-lane-visible latency that must join
 // the min below. Keep in sync with rescache's archFieldCount.
-const quantumArchFields = 24
+//
+// 24 → 27: the chiplet fields (Chiplets, RemoteHopLatency,
+// InterposerInterval). None joins the min — RemoteHopLatency is an
+// additive penalty on a completion that already waited L2Latency or
+// DRAMLatency (internal/mem route), so a remote transaction is strictly
+// slower than the horizon the min already guards, and the other two are
+// topology/bandwidth knobs, not latencies.
+const quantumArchFields = 27
 
 // DeriveEpochQuantum returns the widest safe epoch quantum for ar: one
 // cycle less than the minimum latency at which one lane's action can

@@ -213,7 +213,9 @@ func evaluateApp(ar *arch.Arch, app *workloads.App, opt Options, rn *runner) (*A
 	// the app's reference structure, which the wrapper forwards).
 	var baseK kernel.Kernel = app
 	if opt.Swizzle != "" {
-		sw, err := swizzle.Wrap(opt.Swizzle, app)
+		// WrapFor, not Wrap: the die-aware family (dieblock) derives its
+		// permutation from the platform descriptor.
+		sw, err := swizzle.WrapFor(opt.Swizzle, app, ar)
 		if err != nil {
 			return nil, err
 		}

@@ -22,7 +22,7 @@ func TestObserverSeesEveryTransaction(t *testing.T) {
 		TxnRead: {}, TxnWrite: {}, TxnAtomic: {},
 	}
 	var lastSM int
-	s.SetObserver(func(at int64, smID int, addr uint64, kind TxnKind, l2Hit bool) {
+	s.SetObserver(func(at int64, smID int, addr uint64, kind TxnKind, l2Hit, remote bool) {
 		rec := byKind[kind]
 		if rec == nil {
 			t.Fatalf("observer called with unknown kind %v", kind)
@@ -30,6 +30,9 @@ func TestObserverSeesEveryTransaction(t *testing.T) {
 		rec.count++
 		if !l2Hit {
 			rec.misses++
+		}
+		if remote {
+			t.Fatalf("remote transaction observed on a monolithic descriptor")
 		}
 		lastSM = smID
 		if at < 0 {

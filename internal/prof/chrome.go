@@ -92,10 +92,16 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 			} else {
 				name += " miss"
 			}
+			args := map[string]any{"addr": e.Addr}
+			if e.Remote {
+				// Only chiplet runs mark transactions remote, so
+				// monolithic traces keep their exact historic bytes.
+				args["remote"] = true
+			}
 			evs = append(evs, traceEvent{
 				Name: name, Cat: "l2", Ph: "i",
 				Tid: e.SM, Ts: e.Cycle, S: "t",
-				Args: map[string]any{"addr": e.Addr},
+				Args: args,
 			})
 		}
 	}

@@ -17,6 +17,10 @@ type Metrics struct {
 	Kernel string
 	Arch   string
 	Cycles int64
+	// Chiplets is the die count of a chiplet run (arch.Arch.Chiplets);
+	// 0 for the monolithic platforms. It gates the two interposer rows
+	// so monolithic metrics CSVs keep their exact historic bytes.
+	Chiplets int
 	// AchievedOccupancy is the time-weighted resident-warp fraction
 	// (nvprof achieved_occupancy).
 	AchievedOccupancy float64
@@ -32,7 +36,7 @@ type Metrics struct {
 func (m Metrics) Rows() [][2]string {
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return [][2]string{
+	rows := [][2]string{
 		{"kernel", m.Kernel},
 		{"arch", m.Arch},
 		{"elapsed_cycles", strconv.FormatInt(m.Cycles, 10)},
@@ -48,12 +52,22 @@ func (m Metrics) Rows() [][2]string {
 		{"dram_read_transactions", u(m.Mem.DRAMReads)},
 		{"dram_write_transactions", u(m.Mem.DRAMWrites)},
 	}
+	if m.Chiplets > 1 {
+		rows = append(rows,
+			[2]string{"remote_l2_transactions", u(m.Mem.RemoteL2Transactions)},
+			[2]string{"interposer_bytes", u(m.Mem.InterposerBytes)},
+		)
+	}
+	return rows
 }
 
 // CounterNames returns the fixed list of nvprof-style counter names the
-// exporter emits, in presentation order. The ctad daemon publishes this
-// list on /metrics so dashboards can discover the per-run metric schema
-// without parsing a CSV.
+// exporter emits for monolithic runs, in presentation order. The ctad
+// daemon publishes this list on /metrics so dashboards can discover the
+// per-run metric schema without parsing a CSV. Chiplet runs append
+// remote_l2_transactions and interposer_bytes (see Metrics.Chiplets);
+// the base list deliberately excludes them so the published schema and
+// every monolithic CSV keep their historic bytes.
 func CounterNames() []string {
 	rows := Metrics{}.Rows()
 	out := make([]string, len(rows))

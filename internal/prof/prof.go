@@ -168,10 +168,11 @@ func (c MemClass) String() string {
 // constructs it on the stack and passes it by value, so emitting never
 // allocates. Fields that do not apply to a kind are -1 (ids) or zero.
 type Event struct {
-	Kind  EventKind
-	Tag   uint8 // kind-specific: cache.Result, StallReason, MemClass, mem.TxnKind
-	Hit   bool  // EvL2Transaction: serviced by the L2 without DRAM
-	Write bool  // memory direction where applicable
+	Kind   EventKind
+	Tag    uint8 // kind-specific: cache.Result, StallReason, MemClass, mem.TxnKind
+	Hit    bool  // EvL2Transaction: serviced by the L2 without DRAM
+	Write  bool  // memory direction where applicable
+	Remote bool  // EvL2Transaction: crossed the interposer (chiplet archs only)
 	SM    int32
 	CTA   int32
 	Warp  int32

@@ -102,7 +102,12 @@ func (k *Key) Sum() string {
 // against reflect so adding a field to arch.Arch without extending this
 // encoder fails the build's tests rather than silently serving stale
 // cache entries.
-const archFieldCount = 24
+// 24 → 27: the chiplet fields. All three are result-affecting — the
+// die split changes slice capacities and the interposer penalties
+// change completion times — so they are encoded, and a chiplet-derived
+// descriptor can never alias its monolithic parent (its Name differs
+// too, but the key does not rely on that).
+const archFieldCount = 27
 
 func (k *Key) Arch(a *arch.Arch) *Key {
 	k.Str(a.Name)
@@ -129,6 +134,9 @@ func (k *Key) Arch(a *arch.Arch) *Key {
 	k.Int(int64(a.DRAMInterval))
 	k.Int(int64(a.DefaultScheduler))
 	k.Bool(a.StaticWarpSlotBinding)
+	k.Int(int64(a.Chiplets))
+	k.Int(int64(a.RemoteHopLatency))
+	k.Int(int64(a.InterposerInterval))
 	return k
 }
 

@@ -16,8 +16,11 @@ import (
 // change — which would silently orphan every cache entry in a deployed
 // daemon.
 func TestConfigKeyGolden(t *testing.T) {
+	// Re-pinned when the arch encoder grew the three chiplet fields
+	// (archFieldCount 24 → 27): an intentional, deploy-visible cache
+	// flush, unlike the accidental drifts this test exists to catch.
 	got := ConfigKey("MM/BSL", "", engine.DefaultConfig(arch.TeslaK40()))
-	const want = "d13a9de67500d83ff20fbc2ba60be0c52fc0f643eacdb5da9d3e38d1e81935d1"
+	const want = "e098d0e32a67f00fca85fdfaed4539480a43856bc733acbf9cedada0660b7600"
 	if got != want {
 		t.Fatalf("ConfigKey golden drifted:\n got %s\nwant %s", got, want)
 	}
@@ -96,6 +99,9 @@ func TestArchKeyCoversEveryField(t *testing.T) {
 		func(a *arch.Arch) { a.DRAMInterval++ },
 		func(a *arch.Arch) { a.DefaultScheduler = arch.SchedStrictRR },
 		func(a *arch.Arch) { a.StaticWarpSlotBinding = !a.StaticWarpSlotBinding },
+		func(a *arch.Arch) { a.Chiplets = 2 },
+		func(a *arch.Arch) { a.RemoteHopLatency = 65 },
+		func(a *arch.Arch) { a.InterposerInterval = 4 },
 	}
 	baseKey := NewKey("t").Arch(&base).Sum()
 	for i, fn := range perturb {

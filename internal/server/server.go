@@ -76,6 +76,14 @@ type Config struct {
 	// field — daemons configured with different defaults never share
 	// entries for the same request. Empty means no swizzle.
 	Swizzle string
+	// Chiplets is the default die count for the multi-chiplet
+	// architecture model (arch.WithChiplets, DESIGN.md §13) applied to
+	// every platform the daemon simulates; requests carrying their own
+	// chiplets field override it. 0 keeps the monolithic Table 1 models.
+	// Result-affecting like Swizzle — the derived descriptor's fields
+	// enter every cache key through Key.Arch, so daemons configured with
+	// different die counts never share entries.
+	Chiplets int
 	// CacheBytes / CacheEntries bound the result cache (defaults in
 	// rescache.New).
 	CacheBytes   int64
@@ -268,7 +276,9 @@ func schemeKernel(req api.SimulateRequest, app *workloads.App, ar *arch.Arch, sw
 	}
 	var base kernel.Kernel = app
 	if swz != "" {
-		sk, err := swizzle.Wrap(swz, app)
+		// WrapFor, not Wrap: ar may be a chiplet descriptor and the
+		// die-aware swizzle family derives its permutation from it.
+		sk, err := swizzle.WrapFor(swz, app, ar)
 		if err != nil {
 			return nil, "", err
 		}
@@ -300,6 +310,18 @@ func (s *Server) swizzleFor(req string) (string, error) {
 	return cli.Swizzle(req)
 }
 
+// chipletFor applies the chiplet model to the resolved platforms: the
+// request's die count when present, else the daemon's configured
+// default (0 = monolithic, like an empty swizzle field). Range errors
+// surface arch.WithChiplets' own messages as 400s.
+func (s *Server) chipletFor(req int, platforms []*arch.Arch) ([]*arch.Arch, error) {
+	dies := s.cfg.Chiplets
+	if req != 0 {
+		dies = req
+	}
+	return cli.Chiplet(dies, platforms)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req api.SimulateRequest
 	if err := decode(r, &req); err != nil {
@@ -316,6 +338,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	ars, err := s.chipletFor(req.Chiplets, []*arch.Arch{ar})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ar = ars[0]
 	swz, err := s.swizzleFor(req.Swizzle)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -368,6 +396,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	platforms, err := cli.Platforms(req.Arch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Chiplet derivation happens before the key is built, so the derived
+	// descriptors' fields (die count, interposer penalties) enter the
+	// sweep key through Key.Arch below.
+	platforms, err = s.chipletFor(req.Chiplets, platforms)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -473,11 +509,13 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 
 // handleTransforms lists the transform vocabulary: scheme labels and
 // CTA tile swizzle names, each sorted, so clients can discover what a
-// simulate/sweep request may carry.
+// simulate/sweep request may carry. AllNames, not Names: the die-aware
+// dieblock variant is requestable (it degenerates to identity on
+// monolithic platforms), so clients must see it.
 func (s *Server) handleTransforms(w http.ResponseWriter, r *http.Request) {
 	s.serveStatic(w, api.TransformsResponse{
 		Schemes:  []string{"BSL", "CLU", "RD"},
-		Swizzles: swizzle.Names(),
+		Swizzles: swizzle.AllNames(),
 	})
 }
 

@@ -43,6 +43,9 @@ const (
 	costXOR      = 4
 	costGroupCol = 8
 	costHilbert  = 24
+	// The die-block remap is a div/mod pair plus a band lookup, the
+	// same order of arithmetic as the grouped-column swizzle.
+	costDieBlock = 8
 )
 
 // GroupM is the grouped-column swizzle's group height in tiles, the
@@ -66,10 +69,42 @@ var variants = map[string]variant{
 	"hilbert":  {cost: costHilbert, build: hilbertPerm},
 }
 
-// Names returns the registered swizzle names, sorted.
+// archVariant describes a swizzle whose permutation depends on the
+// architecture descriptor, not just the grid — the die-aware placement
+// family for chiplet GPUs (arXiv 2606.11716). These are only reachable
+// through WrapFor, which knows the platform.
+type archVariant struct {
+	cost  int
+	build func(nx, ny int, ar *arch.Arch) []int
+}
+
+var archVariants = map[string]archVariant{
+	"dieblock": {cost: costDieBlock, build: dieBlockPerm},
+}
+
+// Names returns the architecture-independent swizzle names, sorted —
+// the family the BENCH_swizzle.json matrix and the reuse analyzer rank
+// over. Die-aware swizzles are excluded on purpose: their permutation
+// is a function of the platform, so they only make sense where an
+// architecture is in hand (AllNames has the full list).
 func Names() []string {
 	out := make([]string, 0, len(variants))
 	for n := range variants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns every registered swizzle name, architecture-aware
+// ones included, sorted. This is the list user-facing flag validation
+// (internal/cli) and the ctad /transforms endpoint advertise.
+func AllNames() []string {
+	out := make([]string, 0, len(variants)+len(archVariants))
+	for n := range variants {
+		out = append(out, n)
+	}
+	for n := range archVariants {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -87,17 +122,24 @@ type Kernel struct {
 	perm    []int // dispatch slot u -> original linear CTA id; nil = identity
 }
 
-// Wrap builds the named swizzle of orig. The name is matched
-// case-insensitively against Names(); an unknown name yields an error
-// listing the known swizzles in sorted order, matching internal/cli's
-// unknown-app/-arch style. Grids with Z > 1 are swizzled on their
-// (X, Y·Z) flattening, which preserves the linear CTA id layout.
+// Wrap builds the named swizzle of orig without an architecture in
+// hand. It accepts exactly the Names() family; die-aware names need
+// WrapFor. Grids with Z > 1 are swizzled on their (X, Y·Z) flattening,
+// which preserves the linear CTA id layout.
 func Wrap(name string, orig kernel.Kernel) (*Kernel, error) {
+	return WrapFor(name, orig, nil)
+}
+
+// WrapFor builds the named swizzle of orig for platform ar. The name
+// is matched case-insensitively against AllNames(); an unknown name
+// yields an error listing the known swizzles in sorted order, matching
+// internal/cli's unknown-app/-arch style. Architecture-aware swizzles
+// (dieblock) require a non-nil ar; on a monolithic descriptor they
+// degenerate to the identity remap at zero cost — there is only one
+// die to keep CTAs on, and the degenerate case keeps `-swizzle
+// dieblock` harmless rather than erroneous when `-chiplet` is off.
+func WrapFor(name string, orig kernel.Kernel, ar *arch.Arch) (*Kernel, error) {
 	canon := strings.ToLower(strings.TrimSpace(name))
-	v, ok := variants[canon]
-	if !ok {
-		return nil, fmt.Errorf("swizzle: unknown swizzle %q (known: %s)", name, strings.Join(Names(), ", "))
-	}
 	g := orig.GridDim()
 	nx, ny := g.X, g.Y
 	if nx < 1 {
@@ -108,6 +150,23 @@ func Wrap(name string, orig kernel.Kernel) (*Kernel, error) {
 	}
 	if g.Z > 1 {
 		ny *= g.Z
+	}
+	if av, ok := archVariants[canon]; ok {
+		if ar == nil {
+			return nil, fmt.Errorf("swizzle: %q is architecture-aware and needs a platform (use WrapFor)", canon)
+		}
+		if ar.Chiplets <= 1 {
+			return &Kernel{orig: orig, variant: canon, cost: 0}, nil
+		}
+		perm := av.build(nx, ny, ar)
+		if !isPermutation(perm, nx*ny) {
+			panic(fmt.Sprintf("swizzle: internal error: %s permutation is not bijective on %dx%d", canon, nx, ny))
+		}
+		return &Kernel{orig: orig, variant: canon, cost: av.cost, perm: perm}, nil
+	}
+	v, ok := variants[canon]
+	if !ok {
+		return nil, fmt.Errorf("swizzle: unknown swizzle %q (known: %s)", name, strings.Join(AllNames(), ", "))
 	}
 	var perm []int
 	if v.build != nil {
@@ -268,6 +327,55 @@ func hilbertPerm(nx, ny int) []int {
 		if x < nx && y < ny {
 			perm = append(perm, y*nx+x)
 		}
+	}
+	return perm
+}
+
+// dieBlockPerm is the die-aware placement remap for chiplet GPUs: the
+// grid is cut into horizontal bands, one per die, with heights
+// proportional to each die's SM share, and dispatch slot u — which the
+// GigaThread engine's first turnaround places on SM u mod SMs (the
+// round-robin pattern of Section 3.1-(3)) — draws its tile row-major
+// from the band of that SM's die. Neighbouring tiles, and therefore
+// the cluster-mates internal/core groups out of them, land on one die:
+// their shared lines are fetched into a single die's L2 slice instead
+// of being duplicated per die, which is the capacity effect the
+// chiplet comparison in internal/eval measures. When a die's band runs
+// dry (demand-driven later turnarounds drift off u mod SMs) the slot
+// takes the next tile from the following die's band, round-robin,
+// which keeps the map bijective on any grid and die count.
+func dieBlockPerm(nx, ny int, ar *arch.Arch) []int {
+	dies := ar.Chiplets
+	// Band boundaries: band d covers rows [bounds[d], bounds[d+1]),
+	// sized by the die's share of SMs; telescoping makes the last
+	// boundary exactly ny, so the bands tile the grid.
+	bounds := make([]int, dies+1)
+	smSum := 0
+	for d := 0; d < dies; d++ {
+		smSum += ar.DieSMs(d)
+		bounds[d+1] = ny * smSum / ar.SMs
+	}
+	next := make([]int, dies) // per-band row-major cursor
+	take := func(d int) (int, bool) {
+		lo, hi := bounds[d], bounds[d+1]
+		i := next[d]
+		if i >= (hi-lo)*nx {
+			return 0, false
+		}
+		next[d]++
+		return (lo+i/nx)*nx + i%nx, true
+	}
+	perm := make([]int, 0, nx*ny)
+	for u := 0; u < nx*ny; u++ {
+		d := ar.DieOf(u % ar.SMs)
+		tile, ok := take(d)
+		for k := 1; !ok && k < dies; k++ {
+			tile, ok = take((d + k) % dies)
+		}
+		if !ok {
+			panic("swizzle: internal error: dieblock ran out of tiles before slots")
+		}
+		perm = append(perm, tile)
 	}
 	return perm
 }

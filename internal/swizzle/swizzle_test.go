@@ -228,7 +228,7 @@ func TestWrapUnknownName(t *testing.T) {
 	if err == nil {
 		t.Fatal("want error for unknown swizzle")
 	}
-	want := `unknown swizzle "zorder" (known: ` + strings.Join(Names(), ", ") + ")"
+	want := `unknown swizzle "zorder" (known: ` + strings.Join(AllNames(), ", ") + ")"
 	if !strings.Contains(err.Error(), want) {
 		t.Errorf("error = %q, want it to contain %q", err, want)
 	}

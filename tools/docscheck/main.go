@@ -9,6 +9,14 @@
 //     one of this repo's commands must actually be registered by that
 //     command. This catches the classic drift where a flag is renamed
 //     or removed but a documented invocation keeps advertising it.
+//  3. The result-affecting shared flags (-swizzle, -chiplet — the ones
+//     that change what is computed and therefore ride in cache keys)
+//     must be demonstrated in the docs for every command that registers
+//     them: each such command needs at least one code line in README.md
+//     or EXPERIMENTS.md passing it the flag. Invariant 2 catches
+//     documented-but-unregistered; this is the reverse direction, so a
+//     new CLI gaining -chiplet cannot ship without a documented
+//     invocation.
 //
 // The flag cross-check scans fenced code blocks and indented code lines
 // in the two documents. A line is attributed to a command when a token
@@ -73,6 +81,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		os.Exit(2)
 	}
+	demonstrated := make(map[string]map[string]bool) // cmd -> flags the docs show it taking
 	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
 		p := filepath.Join(*root, doc)
 		data, err := os.ReadFile(p)
@@ -80,8 +89,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			os.Exit(2)
 		}
-		problems = append(problems, checkDocFlags(doc, string(data), cmdFlags)...)
+		problems = append(problems, checkDocFlags(doc, string(data), cmdFlags, demonstrated)...)
 	}
+	problems = append(problems, checkSharedFlagCoverage(cmdFlags, demonstrated)...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -316,10 +326,38 @@ func flagsInDir(dir string, helperFlags map[string]map[string]bool) (map[string]
 
 var flagToken = regexp.MustCompile(`^-{1,2}([a-zA-Z][a-zA-Z0-9-]*)`)
 
+// resultAffectingSharedFlags lists the flags invariant 3 holds to
+// docs coverage: shared across commands via internal/cli helpers and
+// result-affecting (part of the cache key), so an undocumented
+// registration is a served-but-invisible knob.
+var resultAffectingSharedFlags = []string{"swizzle", "chiplet"}
+
+// checkSharedFlagCoverage is invariant 3: every command registering a
+// result-affecting shared flag must be shown taking it somewhere in the
+// scanned docs.
+func checkSharedFlagCoverage(cmdFlags, demonstrated map[string]map[string]bool) []string {
+	var problems []string
+	cmds := make([]string, 0, len(cmdFlags))
+	for cmd := range cmdFlags {
+		cmds = append(cmds, cmd)
+	}
+	sort.Strings(cmds)
+	for _, fl := range resultAffectingSharedFlags {
+		for _, cmd := range cmds {
+			if cmdFlags[cmd][fl] && !demonstrated[cmd][fl] {
+				problems = append(problems,
+					fmt.Sprintf("command %q registers the result-affecting flag -%s but neither README.md nor EXPERIMENTS.md shows an invocation using it", cmd, fl))
+			}
+		}
+	}
+	return problems
+}
+
 // checkDocFlags scans code lines of a markdown document and verifies
 // every -flag passed to a known command against that command's
-// registered flag set. Returns one problem string per unknown flag.
-func checkDocFlags(docName, text string, cmdFlags map[string]map[string]bool) []string {
+// registered flag set, recording each (command, flag) pair it sees into
+// demonstrated. Returns one problem string per unknown flag.
+func checkDocFlags(docName, text string, cmdFlags map[string]map[string]bool, demonstrated map[string]map[string]bool) []string {
 	var problems []string
 	inFence := false
 	for i, line := range strings.Split(text, "\n") {
@@ -348,7 +386,12 @@ func checkDocFlags(docName, text string, cmdFlags map[string]map[string]bool) []
 			if !cmdFlags[cmd][m[1]] {
 				problems = append(problems,
 					fmt.Sprintf("%s:%d: command %q has no flag -%s", docName, i+1, cmd, m[1]))
+				continue
 			}
+			if demonstrated[cmd] == nil {
+				demonstrated[cmd] = make(map[string]bool)
+			}
+			demonstrated[cmd][m[1]] = true
 		}
 	}
 	return problems
