@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke swizzle-smoke chiplet-smoke docs-check
+.PHONY: build test race fuzz bench bench-smoke bench-alloc vet prof prof-golden server fleet-smoke swizzle-smoke chiplet-smoke calib-smoke cover docs-check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEventQueueOrder -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheEntry -fuzztime=$(FUZZTIME) ./internal/rescache
 	$(GO) test -run='^$$' -fuzz=FuzzDieBlockBijective -fuzztime=$(FUZZTIME) ./internal/swizzle
+	$(GO) test -run='^$$' -fuzz=FuzzCalibReference -fuzztime=$(FUZZTIME) ./internal/calib
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -97,6 +98,30 @@ chiplet-smoke:
 	$(GO) test -race -run 'Chiplet|DieBlock|DieOf' ./internal/arch ./internal/mem ./internal/swizzle ./internal/engine
 	$(GO) run -race ./cmd/evaluate -chiplet 2 -chiplet-compare -apps MM,NW -arch TeslaK40 > /dev/null
 	$(GO) run -race ./cmd/evaluate -chiplet 2 -chiplet-compare -apps MM -arch GTX980 -json > /dev/null
+
+# The calibration gate the CI enforces: the calib package wall (codec
+# canonical-form goldens, fitter determinism and recovery, fitted-arch
+# shard/quantum byte-identity) under the race detector, a fit smoke
+# through the real ctacalib binary, a serial-vs-parallel/sharded
+# byte-identity check of the rendered report, and a byte-exact
+# regeneration of the committed BENCH_calib.json accuracy ledger (the
+# file is dateless on purpose so cmp can gate it).
+calib-smoke:
+	$(GO) test -race ./internal/calib
+	$(GO) run -race ./cmd/ctacalib fit -arch TeslaK40 > /dev/null
+	$(GO) run ./cmd/ctacalib report -arch GTX570 -apps MM,SGM,NW -parallel 1 > /tmp/ctacalib-serial.txt
+	$(GO) run ./cmd/ctacalib report -arch GTX570 -apps MM,SGM,NW -parallel 4 -shards 2 -quantum 1 > /tmp/ctacalib-knobs.txt
+	cmp /tmp/ctacalib-serial.txt /tmp/ctacalib-knobs.txt
+	$(GO) run ./cmd/ctacalib report -json > /tmp/ctacalib-bench.json
+	cmp /tmp/ctacalib-bench.json BENCH_calib.json
+
+# The coverage gate the CI enforces: per-package statement coverage from
+# the full suite, with a hard 70% floor on internal/calib (the accuracy
+# ledger; a coverage hole there un-pins BENCH numbers silently) and
+# report-only visibility everywhere else (tools/covercheck).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./tools/covercheck -profile cover.out
 
 # The docs gate the CI enforces: every internal/* and cmd/* package must
 # carry a package-level doc comment, and every flag that README.md or

@@ -309,7 +309,8 @@ type SwizzleComparison struct {
 	LineBytes int                 `json:"line_bytes"`
 	Cells     []SwizzleCellResult `json:"cells"`
 	// PredictedBest / MeasuredBest name the swizzle the analyzer ranked
-	// first (fewest predicted fetches) and the one with the fewest
+	// first (largest cross-CTA reuse fraction, identity the tie-winning
+	// incumbent) and the one with the fewest
 	// measured L2 read transactions; PredictionHit is their agreement —
 	// the analyzer's score against internal/prof ground truth.
 	PredictedBest string `json:"predicted_best"`

@@ -1,0 +1,76 @@
+package arch
+
+import "testing"
+
+// TestLatencyParamsCoverCommittedDescriptors: every Table 1 descriptor
+// (and the 750Ti) must validate — the committed hand calibration sits
+// inside the fitter's bounds — and the accessor pairs must round-trip.
+func TestLatencyParamsCoverCommittedDescriptors(t *testing.T) {
+	for _, a := range append(All(), GTX750Ti()) {
+		if err := ValidateLatencies(a); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		for _, p := range LatencyParams(a) {
+			orig := p.Get(a)
+			p.Set(a, orig+1)
+			if got := p.Get(a); got != orig+1 {
+				t.Errorf("%s %s: set %d, get %d", a.Name, p.Name, orig+1, got)
+			}
+			p.Set(a, orig)
+		}
+	}
+}
+
+// TestLatencyParamsOrder pins the canonical fit order — the coordinate
+// descent determinism contract depends on it.
+func TestLatencyParamsOrder(t *testing.T) {
+	want := []string{"L1Latency", "L2Latency", "DRAMLatency", "DRAMInterval"}
+	got := LatencyParams(TeslaK40())
+	if len(got) != len(want) {
+		t.Fatalf("monolithic params = %d, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.Name != want[i] {
+			t.Errorf("param[%d] = %s, want %s", i, p.Name, want[i])
+		}
+	}
+	ch, err := WithChiplets(TeslaK40(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := LatencyParams(ch)
+	if len(cps) != len(want)+1 || cps[len(cps)-1].Name != "RemoteHopLatency" {
+		t.Errorf("chiplet params = %v, want monolithic + RemoteHopLatency last", names(cps))
+	}
+	if err := ValidateLatencies(ch); err != nil {
+		t.Errorf("derived 2-die K40: %v", err)
+	}
+}
+
+func names(ps []LatencyParam) []string {
+	var out []string
+	for _, p := range ps {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// TestValidateLatenciesRejects: out-of-bound and mis-ordered tables
+// must fail, so a diverging fit cannot silently commit nonsense.
+func TestValidateLatenciesRejects(t *testing.T) {
+	a := TeslaK40()
+	a.L1Latency = 10 // below Min 20
+	if ValidateLatencies(a) == nil {
+		t.Error("under-bound L1Latency accepted")
+	}
+	b := TeslaK40()
+	b.L2Latency = b.DRAMLatency + 10 // L2 > DRAM
+	if ValidateLatencies(b) == nil {
+		t.Error("L2 > DRAM accepted")
+	}
+	c := TeslaK40()
+	c.DRAMInterval = 0
+	if ValidateLatencies(c) == nil {
+		t.Error("zero DRAMInterval accepted")
+	}
+}

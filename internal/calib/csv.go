@@ -1,0 +1,264 @@
+package calib
+
+// Canonical CSV codecs for the reference store. The format is rigid on
+// purpose: the goldens pin the committed files byte-for-byte and the
+// fuzz target (FuzzCalibReference) holds decode→re-encode to a fixed
+// point, so every accepted document has exactly one canonical
+// rendering — floats in Go's shortest round-trip form, scenarios in
+// default-then-staggered order, a fixed banner line. A looser format
+// would let two byte-different files mean the same reference and turn
+// the byte-identity goldens into noise.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+const (
+	curveBanner = "# ctacalib Figure 2 reference curve; regenerate with `ctacalib seed`"
+	appsBanner  = "# ctacalib per-app reference targets; regenerate with `ctacalib seed`"
+	curveHeader = "scenario,cta,cycles"
+	appsHeader  = "arch,app,cycles,speedup"
+)
+
+// EncodeCurve renders a curve in the canonical byte form.
+func EncodeCurve(c *Curve) []byte {
+	var b bytes.Buffer
+	b.WriteString(curveBanner + "\n")
+	fmt.Fprintf(&b, "# arch: %s\n", c.Arch)
+	fmt.Fprintf(&b, "# chiplets: %d\n", c.Chiplets)
+	b.WriteString("# paper:")
+	for _, p := range c.Paper {
+		fmt.Fprintf(&b, " %s=%d", p.Name, p.Cycles)
+	}
+	b.WriteString("\n" + curveHeader + "\n")
+	write := func(scenario string, pts []CurvePoint) {
+		for _, p := range pts {
+			b.WriteString(scenario)
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(p.CTA))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.Cycles, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	write("default", c.Default)
+	write("staggered", c.Staggered)
+	return b.Bytes()
+}
+
+// DecodeCurve parses a curve document, rejecting anything that does not
+// decode to a value with a canonical rendering: wrong banner, missing
+// metadata, unknown scenarios, non-finite or negative cycles.
+func DecodeCurve(data []byte) (*Curve, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) < 5 {
+		return nil, fmt.Errorf("curve: %d lines, want banner, arch, chiplets, paper, header", len(lines))
+	}
+	if lines[0] != curveBanner {
+		return nil, fmt.Errorf("curve: bad banner %q", lines[0])
+	}
+	c := &Curve{}
+	c.Arch, err = metaField(lines[1], "# arch: ")
+	if err != nil {
+		return nil, err
+	}
+	if c.Arch == "" {
+		return nil, fmt.Errorf("curve: empty arch name")
+	}
+	chip, err := metaField(lines[2], "# chiplets: ")
+	if err != nil {
+		return nil, err
+	}
+	if c.Chiplets, err = parseCanonInt(chip); err != nil {
+		return nil, fmt.Errorf("curve: bad chiplets %q", chip)
+	}
+	if c.Paper, err = decodePaper(lines[3]); err != nil {
+		return nil, err
+	}
+	if lines[4] != curveHeader {
+		return nil, fmt.Errorf("curve: bad header %q, want %q", lines[4], curveHeader)
+	}
+	for _, line := range lines[5:] {
+		f := strings.Split(line, ",")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("curve: row %q has %d fields, want 3", line, len(f))
+		}
+		cta, err := parseCanonInt(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("curve: bad cta %q", f[1])
+		}
+		cyc, err := parseCycles(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("curve: row %q: %v", line, err)
+		}
+		pt := CurvePoint{CTA: cta, Cycles: cyc}
+		switch f[0] {
+		case "default":
+			// Canonical order is all default rows, then all staggered
+			// rows; an interleaving would re-encode differently.
+			if len(c.Staggered) > 0 {
+				return nil, fmt.Errorf("curve: default row %q after staggered rows", line)
+			}
+			c.Default = append(c.Default, pt)
+		case "staggered":
+			c.Staggered = append(c.Staggered, pt)
+		default:
+			return nil, fmt.Errorf("curve: unknown scenario %q", f[0])
+		}
+	}
+	if len(c.Default) == 0 || len(c.Staggered) == 0 {
+		return nil, fmt.Errorf("curve: %s needs both scenarios (default %d pts, staggered %d)", c.Arch, len(c.Default), len(c.Staggered))
+	}
+	return c, nil
+}
+
+// EncodeApps renders the per-app targets in the canonical byte form.
+func EncodeApps(apps []AppTarget) []byte {
+	var b bytes.Buffer
+	b.WriteString(appsBanner + "\n" + appsHeader + "\n")
+	for _, t := range apps {
+		b.WriteString(t.Arch)
+		b.WriteByte(',')
+		b.WriteString(t.App)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(t.Cycles, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(t.Speedup, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// DecodeApps parses a per-app target document.
+func DecodeApps(data []byte) ([]AppTarget, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) < 2 || lines[0] != appsBanner || lines[1] != appsHeader {
+		return nil, fmt.Errorf("apps: want banner and header %q", appsHeader)
+	}
+	var out []AppTarget
+	for _, line := range lines[2:] {
+		f := strings.Split(line, ",")
+		if len(f) != 4 {
+			return nil, fmt.Errorf("apps: row %q has %d fields, want 4", line, len(f))
+		}
+		if f[0] == "" || f[1] == "" {
+			return nil, fmt.Errorf("apps: row %q has empty arch or app", line)
+		}
+		cyc, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil || cyc < 0 || strconv.FormatInt(cyc, 10) != f[2] {
+			return nil, fmt.Errorf("apps: bad cycles %q", f[2])
+		}
+		sp, err := parseCycles(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("apps: row %q: %v", line, err)
+		}
+		out = append(out, AppTarget{Arch: f[0], App: f[1], Cycles: cyc, Speedup: sp})
+	}
+	return out, nil
+}
+
+// splitLines splits on '\n', requiring a trailing newline and no CR or
+// empty interior lines — the canonical framing both encoders emit.
+func splitLines(data []byte) ([]string, error) {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("missing trailing newline")
+	}
+	if bytes.ContainsRune(data, '\r') {
+		return nil, fmt.Errorf("CR in input")
+	}
+	lines := strings.Split(string(data[:len(data)-1]), "\n")
+	for i, l := range lines {
+		if l == "" {
+			return nil, fmt.Errorf("empty line %d", i+1)
+		}
+	}
+	return lines, nil
+}
+
+// metaField strips an exact "# key: " prefix.
+func metaField(line, prefix string) (string, error) {
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("curve: line %q does not start with %q", line, prefix)
+	}
+	return line[len(prefix):], nil
+}
+
+// decodePaper parses the "# paper: Name=123 ..." annotation line. An
+// empty annotation ("# paper:") is allowed — it means no published
+// point was transcribed for this curve.
+func decodePaper(line string) ([]PaperPoint, error) {
+	const prefix = "# paper:"
+	if !strings.HasPrefix(line, prefix) {
+		return nil, fmt.Errorf("curve: line %q does not start with %q", line, prefix)
+	}
+	rest := line[len(prefix):]
+	if rest == "" {
+		return nil, nil
+	}
+	var out []PaperPoint
+	for _, tok := range strings.Split(rest, " ") {
+		if tok == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(tok, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("curve: bad paper point %q", tok)
+		}
+		v, err := parseCanonInt(val)
+		if err != nil {
+			return nil, fmt.Errorf("curve: bad paper cycles %q", tok)
+		}
+		out = append(out, PaperPoint{Name: name, Cycles: v})
+	}
+	// Canonical re-encode joins with single spaces; reject padded input.
+	if canon := encodePaper(out); canon != rest {
+		return nil, fmt.Errorf("curve: non-canonical paper annotation %q", rest)
+	}
+	return out, nil
+}
+
+func encodePaper(pts []PaperPoint) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, " %s=%d", p.Name, p.Cycles)
+	}
+	return b.String()
+}
+
+// parseCanonInt parses a non-negative integer in canonical form:
+// strconv's rendering and nothing else, so "+5", "007" and friends are
+// rejected and decode→encode stays the identity.
+func parseCanonInt(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 || strconv.Itoa(v) != s {
+		return 0, fmt.Errorf("non-canonical integer %q", s)
+	}
+	return v, nil
+}
+
+// parseCycles parses a finite, non-negative float in canonical form.
+func parseCycles(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("non-finite or negative %q", s)
+	}
+	// Reject non-shortest renderings ("1.50", "1e1") so decode→encode
+	// is a fixed point on first application.
+	if strconv.FormatFloat(v, 'g', -1, 64) != s {
+		return 0, fmt.Errorf("non-canonical float %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,64 @@
+package calib
+
+// The differential wall for fitted descriptors: an arch.Arch that came
+// out of Fit is a first-class engine input, so it must satisfy the same
+// byte-identity contract the seed descriptors do — identical Results at
+// every shards x quantum setting. A fitter that emitted a descriptor
+// the sharded engine schedules differently would silently void every
+// determinism golden downstream of it.
+
+import (
+	"reflect"
+	"testing"
+
+	"ctacluster/internal/cli"
+	"ctacluster/internal/engine"
+)
+
+func TestFittedArchShardQuantumIdentity(t *testing.T) {
+	ref, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := cli.Platform("TeslaK40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit from a perturbed start so the descent actually walks — the
+	// descriptor under test is a genuine fitter output, not a copy-in
+	// copy-out of the registry table.
+	start := *ar
+	start.L1Latency++
+	res, err := Fit(ar, ref, FitOptions{Start: &start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := res.Arch
+
+	apps, err := cli.Apps("MM,SGM,NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps {
+		cfg := engine.DefaultConfig(fitted)
+		serial, err := engine.Run(cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			for _, quantum := range []int64{1, 0} {
+				cfg := engine.DefaultConfig(fitted)
+				cfg.Shards = shards
+				cfg.EpochQuantum = quantum
+				got, err := engine.Run(cfg, app)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s on fitted %s: shards=%d quantum=%d differs from serial",
+						app.Name(), fitted.Name, shards, quantum)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package calib
+
+// FuzzCalibReference holds the codec to the canonical-form contract on
+// arbitrary bytes: decoding never panics, and anything either decoder
+// accepts re-encodes to the exact input bytes — decode→encode is the
+// identity on the accepted language, not merely a fixed point reached
+// after a round trip. That is the property that lets the goldens pin
+// the committed files byte-for-byte: there is no second spelling of any
+// reference the loader would accept.
+
+import (
+	"bytes"
+	"io/fs"
+	"testing"
+)
+
+func FuzzCalibReference(f *testing.F) {
+	// Seed with every committed reference file plus near-miss framing.
+	ents, err := fs.ReadDir(embedded, "testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := fs.ReadFile(embedded, "testdata/"+e.Name())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(curveBanner + "\n"))
+	f.Add([]byte(appsBanner + "\n" + appsHeader + "\n"))
+	f.Add([]byte(curveBanner + "\n# arch: X\n# chiplets: 0\n# paper:\n" + curveHeader + "\ndefault,0,1\nstaggered,0,1.5\n"))
+	f.Add([]byte("arch,app,cycles,speedup\n"))
+	f.Add([]byte(appsBanner + "\n" + appsHeader + "\nGTX570,MM,100,1.25\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := DecodeCurve(data); err == nil {
+			if enc := EncodeCurve(c); !bytes.Equal(enc, data) {
+				t.Errorf("curve decode->encode not identity:\nin:  %q\nout: %q", data, enc)
+			}
+		}
+		if apps, err := DecodeApps(data); err == nil {
+			if enc := EncodeApps(apps); !bytes.Equal(enc, data) {
+				t.Errorf("apps decode->encode not identity:\nin:  %q\nout: %q", data, enc)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSubcommand(t *testing.T) {
+	known := []string{"seed", "fit", "report"}
+	cases := []struct {
+		name    string
+		argv    []string
+		cmd     string
+		rest    []string
+		wantErr string // substring; "" means success
+	}{
+		{"plain verb", []string{"fit"}, "fit", []string{}, ""},
+		{"verb with flags", []string{"report", "-json", "-arch", "GTX570"}, "report", []string{"-json", "-arch", "GTX570"}, ""},
+		{"empty argv", []string{}, "", nil, "missing subcommand"},
+		{"flag before verb", []string{"-json", "report"}, "", nil, "flags go after the subcommand"},
+		{"unknown verb", []string{"fti"}, "", nil, `unknown subcommand "fti"`},
+		{"prefix is not a match", []string{"fi"}, "", nil, "unknown subcommand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd, rest, err := Subcommand(tc.argv, known...)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want one containing %q", err, tc.wantErr)
+				}
+				// Error messages list the verbs sorted regardless of
+				// registration order, so they are stable in docs/tests.
+				if want := "fit, report, seed"; !strings.Contains(err.Error(), want) {
+					t.Errorf("err = %v, want the sorted verb list %q", err, want)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmd != tc.cmd || !reflect.DeepEqual(rest, tc.rest) {
+				t.Errorf("Subcommand(%v) = %q, %v; want %q, %v", tc.argv, cmd, rest, tc.cmd, tc.rest)
+			}
+		})
+	}
+}

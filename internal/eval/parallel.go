@@ -66,6 +66,25 @@ func (r *runner) do(fns ...func()) {
 	wg.Wait()
 }
 
+// Runner is the exported face of the deterministic worker pool, for
+// sibling harnesses (internal/calib's correlation report) that fan
+// independent simulations out under the same contract: jobs own their
+// result slots, Do is a completion barrier, and any selection logic
+// runs after the barrier by scanning slots in serial order — so output
+// is byte-identical at every worker count.
+type Runner struct {
+	rn *runner
+}
+
+// NewRunner builds a Runner bounded to the given worker count; values
+// below one mean serial (jobs run inline in submission order).
+func NewRunner(parallelism int) *Runner {
+	return &Runner{rn: newRunner(parallelism)}
+}
+
+// Do runs the given independent jobs and waits for all of them.
+func (r *Runner) Do(jobs ...func()) { r.rn.do(jobs...) }
+
 // stageList orders error slots the way the serial evaluation would
 // encounter them, so the parallel path reports the same first error.
 type stageList struct {

@@ -52,8 +52,9 @@ type SwizzleComparison struct {
 	// Cells holds BSL, one SWZ row per non-identity variant in sorted
 	// order, CLU, and CLU over the predicted-best swizzle.
 	Cells []SwizzleCell
-	// PredictedBest is the analyzer's choice (fewest window-compulsory
-	// fetches, identity included); MeasuredBest is the variant with the
+	// PredictedBest is the analyzer's choice (largest cross-CTA reuse
+	// fraction, identity the tie-winning incumbent);
+	// MeasuredBest is the variant with the
 	// fewest measured L2 read transactions (BSL standing in for
 	// identity). PredictionHit reports their agreement.
 	PredictedBest string

@@ -176,19 +176,41 @@ type VariantScore struct {
 
 // Prediction ranks every registered swizzle for one (kernel, arch).
 type Prediction struct {
-	// Best is the predicted-fastest swizzle: fewest window-compulsory
-	// fetches, ties broken by sorted name (so "identity" wins a tie
-	// against any costlier remap that buys nothing).
+	// Best is the predicted-fastest swizzle: the largest cross-CTA
+	// reuse *fraction* (CrossReuses / Accesses — the share of all read
+	// requests served by a line a co-resident other CTA fetched first,
+	// the quantity a swizzle exists to maximize). "identity" is the
+	// incumbent and only a strictly larger fraction displaces it, so a
+	// swizzle-insensitive kernel — every variant scoring the same —
+	// keeps the unswizzled baseline instead of picking up whatever
+	// remap sorts first, as ranking by raw fetch counts with a
+	// first-wins tie-break used to. The shared-line fraction
+	// (SharedLines / Fetches) is deliberately not the ranking: a good
+	// swizzle shrinks its own denominator — fewer compulsory fetches —
+	// so a remap that genuinely cuts fetches can score a *lower*
+	// shared fraction than the baseline it beats.
 	Best string
 	// Scores holds one entry per registered swizzle, in Names() order.
 	Scores []VariantScore
 }
 
+// crossMoreThan reports whether a's cross-CTA reuse fraction
+// (CrossReuses / Accesses) is strictly greater than b's, compared
+// exactly by cross-multiplication so equal fractions never displace an
+// incumbent through float rounding. A zero-access quant has fraction
+// zero. (Accesses are swizzle-invariant for a pure remap, so between
+// variants of one kernel this reduces to comparing reuse counts; the
+// normalization keeps the comparison meaningful for arbitrary quants.)
+func crossMoreThan(a, b Quant) bool {
+	return a.CrossReuses*b.Accesses > b.CrossReuses*a.Accesses
+}
+
 // PredictBest wraps k with every registered swizzle, analyzes each on
-// ar, and predicts the best one by minimum window-compulsory fetches.
+// ar, and predicts the best one by maximum cross-CTA reuse fraction
+// with identity as the tie-winning incumbent.
 func (a *Analyzer) PredictBest(k kernel.Kernel, ar *arch.Arch) (Prediction, error) {
 	var p Prediction
-	var bestFetches uint64
+	var best Quant
 	for _, name := range Names() {
 		sk, err := Wrap(name, k)
 		if err != nil {
@@ -196,8 +218,15 @@ func (a *Analyzer) PredictBest(k kernel.Kernel, ar *arch.Arch) (Prediction, erro
 		}
 		q := a.Analyze(sk, ar)
 		p.Scores = append(p.Scores, VariantScore{Swizzle: name, Quant: q})
-		if p.Best == "" || q.Fetches < bestFetches {
-			p.Best, bestFetches = name, q.Fetches
+		if name == Identity {
+			// The incumbent: any candidate must strictly beat it.
+			if p.Best == "" || !crossMoreThan(best, q) {
+				p.Best, best = name, q
+			}
+			continue
+		}
+		if p.Best == "" || crossMoreThan(q, best) {
+			p.Best, best = name, q
 		}
 	}
 	return p, nil

@@ -145,6 +145,55 @@ func TestAnalyzeDerivesWindowFromOccupancy(t *testing.T) {
 	}
 }
 
+// TestInsensitiveAppKeepsIdentity is the over-recommendation
+// regression. These apps dispatch 1-D grids, where every registered
+// remap degenerates to the row-major order: all four variants produce
+// identical quants, the analyzer has no signal, and the only defensible
+// pick is the free unswizzled baseline. The pre-fix ranking (minimum
+// raw fetches, first-wins tie-break over sorted names) handed every one
+// of these cells a bogus "groupcol" recommendation — a remap that costs
+// index-recomputation cycles and buys nothing.
+func TestInsensitiveAppKeepsIdentity(t *testing.T) {
+	ar := arch.TeslaK40()
+	a := NewAnalyzer()
+	for _, name := range []string{"BFS", "BS", "KMN", "NW"} {
+		app, err := workloads.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := a.PredictBest(app, ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Guard the premise: every variant scores identically here. If a
+		// future remap starts acting on 1-D grids this test must be
+		// rethought, not silently passed.
+		for _, s := range pred.Scores {
+			if s.Quant != pred.Scores[0].Quant {
+				t.Fatalf("%s: variant %s scores %+v, others %+v — no longer swizzle-insensitive",
+					name, s.Swizzle, s.Quant, pred.Scores[0].Quant)
+			}
+		}
+		if pred.Best != Identity {
+			t.Errorf("%s: predicted best = %q on an all-tied prediction, want %q", name, pred.Best, Identity)
+		}
+	}
+}
+
+// TestTieGoesToIdentitySynthetic pins the tie-break on the
+// hand-computable pair kernel: its 1-D grid ties all variants exactly,
+// and the incumbent must win regardless of where "identity" sorts
+// among the candidate names.
+func TestTieGoesToIdentitySynthetic(t *testing.T) {
+	pred, err := NewAnalyzer().PredictBest(&pairKernel{n: 8}, arch.TeslaK40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Best != Identity {
+		t.Errorf("predicted best = %q, want %q on an all-tied kernel", pred.Best, Identity)
+	}
+}
+
 // TestMMSwizzleOrdering is the real-workload golden: on MM (tiled GEMM,
 // the canonical swizzle target) every locality-improving swizzle must
 // beat the row-major identity on window-compulsory fetches, and the

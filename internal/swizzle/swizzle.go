@@ -48,6 +48,11 @@ const (
 	costDieBlock = 8
 )
 
+// Identity is the name of the unswizzled (row-major) baseline variant:
+// the analyzer's tie-winning incumbent and the name a no-swizzle cell
+// reports where a variant name is expected.
+const Identity = "identity"
+
 // GroupM is the grouped-column swizzle's group height in tiles, the
 // CUTLASS GemmIdentityThreadblockSwizzle "GROUP_M" parameter. Eight
 // rows per group keeps a group's working set within one L2 slice on
@@ -63,7 +68,7 @@ type variant struct {
 }
 
 var variants = map[string]variant{
-	"identity": {cost: costIdentity, build: nil},
+	Identity: {cost: costIdentity, build: nil},
 	"xor":      {cost: costXOR, build: xorPerm},
 	"groupcol": {cost: costGroupCol, build: groupColPerm},
 	"hilbert":  {cost: costHilbert, build: hilbertPerm},

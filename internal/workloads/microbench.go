@@ -122,11 +122,23 @@ func Figure2Series(res *engine.Result) (points []Figure2Point, l1Reads, l1Misses
 // RunMicrobench runs both Figure 2 scenarios for an architecture and
 // returns (default, staggered) results.
 func RunMicrobench(ar *arch.Arch) (def, stag *engine.Result, err error) {
-	def, err = engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, false))
+	return RunMicrobenchCfg(engine.DefaultConfig(ar), ar)
+}
+
+// RunMicrobenchCfg is RunMicrobench under an explicit engine
+// configuration, so callers can thread execution knobs (Shards,
+// EpochQuantum, a reference event queue) or a candidate latency table
+// through the Figure 2 scenarios — the hook internal/calib's fitter
+// simulates its candidate descriptors with. cfg.Arch is overwritten
+// with ar: the microbenchmark's grid derives from the descriptor, and
+// letting the two drift apart would silently measure the wrong machine.
+func RunMicrobenchCfg(cfg engine.Config, ar *arch.Arch) (def, stag *engine.Result, err error) {
+	cfg.Arch = ar
+	def, err = engine.Run(cfg, NewMicrobench(ar, false))
 	if err != nil {
 		return nil, nil, fmt.Errorf("microbench %s: %w", ar.Name, err)
 	}
-	stag, err = engine.Run(engine.DefaultConfig(ar), NewMicrobench(ar, true))
+	stag, err = engine.Run(cfg, NewMicrobench(ar, true))
 	if err != nil {
 		return nil, nil, fmt.Errorf("microbench %s staggered: %w", ar.Name, err)
 	}

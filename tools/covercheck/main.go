@@ -1,0 +1,172 @@
+// Command covercheck turns a Go cover profile into a per-package
+// coverage table and enforces statement-coverage floors on the packages
+// that carry one. The calibration harness (internal/calib) is the
+// repo's accuracy ledger — a regression there silently un-pins every
+// BENCH number — so it gets a hard 70% floor; every other package is
+// report-only, a visibility aid rather than a gate.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./tools/covercheck -profile cover.out [-floors pkg=pct,...]
+//
+// The profile is parsed directly (mode line, then
+// "file:start,end numStmts hitCount" blocks) rather than shelling out
+// to `go tool cover`, so the numbers are statement-weighted per package
+// and duplicate blocks from merged profiles are deduplicated by
+// OR-ing their hit counts.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one coverage block keyed by its source extent.
+type block struct {
+	file   string
+	extent string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("covercheck: ")
+	profile := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	floors := flag.String("floors", "ctacluster/internal/calib=70", "comma-separated pkg=minPercent floors to enforce")
+	flag.Parse()
+
+	minPct, err := parseFloors(*floors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stmts, hits, err := readProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		pkg      string
+		pct      float64
+		total    int
+		enforced bool
+	}
+	var rows []row
+	var failed []string
+	for pkg, total := range stmts {
+		pct := 100 * float64(hits[pkg]) / float64(total)
+		floor, enforced := minPct[pkg]
+		rows = append(rows, row{pkg, pct, total, enforced})
+		if enforced && pct < floor {
+			failed = append(failed, fmt.Sprintf("%s: %.1f%% < %.1f%% floor", pkg, pct, floor))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pkg < rows[j].pkg })
+	for _, r := range rows {
+		gate := ""
+		if r.enforced {
+			gate = fmt.Sprintf("  (floor %.0f%%)", minPct[r.pkg])
+		}
+		fmt.Printf("%-40s %6.1f%%  %5d stmts%s\n", r.pkg, r.pct, r.total, gate)
+	}
+	for pkg, floor := range minPct {
+		if _, ok := stmts[pkg]; !ok {
+			failed = append(failed, fmt.Sprintf("%s: has a %.1f%% floor but no coverage data — was it tested with -coverprofile?", pkg, floor))
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		for _, f := range failed {
+			log.Print(f)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseFloors parses "pkg=pct,pkg=pct".
+func parseFloors(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		pkg, pctStr, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad floor %q, want pkg=percent", tok)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("bad floor percentage %q", pctStr)
+		}
+		out[pkg] = pct
+	}
+	return out, nil
+}
+
+// readProfile aggregates a cover profile into per-package statement and
+// covered-statement counts.
+func readProfile(name string) (stmts, hits map[string]int, err error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	// Dedup pass: merged profiles repeat blocks; OR the hit counts.
+	count := map[block]int{}
+	nstmt := map[block]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 {
+			if !strings.HasPrefix(text, "mode: ") {
+				return nil, nil, fmt.Errorf("%s: not a cover profile (missing mode line)", name)
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		// file.go:12.34,56.7 numStmts hitCount
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("%s:%d: malformed block %q", name, line, text)
+		}
+		file, extent, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("%s:%d: malformed location %q", name, line, fields[0])
+		}
+		n, err1 := strconv.Atoi(fields[1])
+		c, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || n < 0 || c < 0 {
+			return nil, nil, fmt.Errorf("%s:%d: malformed counts %q", name, line, text)
+		}
+		b := block{file, extent}
+		nstmt[b] = n
+		if c > count[b] {
+			count[b] = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	stmts, hits = map[string]int{}, map[string]int{}
+	for b, n := range nstmt {
+		pkg := path.Dir(b.file)
+		stmts[pkg] += n
+		if count[b] > 0 {
+			hits[pkg] += n
+		}
+	}
+	return stmts, hits, nil
+}
